@@ -1,0 +1,56 @@
+//! Criterion bench: cost of the Figure 2 experiments — planning the 3D path,
+//! deriving the per-phase traces and estimating the parallel WCET.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use wnoc_core::{Coord, Mesh, NocConfig};
+use wnoc_manycore::wcet::{parallel_wcet, WcetEstimator};
+use wnoc_workloads::avionics::{default_scenario, TrafficModel};
+use wnoc_workloads::placement::Placement;
+
+fn bench_planning(c: &mut Criterion) {
+    let planner = default_scenario(2016).unwrap();
+    c.bench_function("fig2/plan_3d_path", |b| {
+        b.iter(|| {
+            let outcome = planner.plan();
+            black_box(outcome.expanded_cells)
+        })
+    });
+}
+
+fn bench_phase_derivation(c: &mut Criterion) {
+    let planner = default_scenario(2016).unwrap();
+    let mesh = Mesh::square(8).unwrap();
+    let memory = Coord::from_row_col(0, 0);
+    let placements = Placement::paper_set(&mesh, memory).unwrap();
+    c.bench_function("fig2/derive_parallel_phases", |b| {
+        b.iter(|| {
+            let phases = planner
+                .parallel_phases(black_box(&placements[0]), TrafficModel::default())
+                .unwrap();
+            black_box(phases.len())
+        })
+    });
+}
+
+fn bench_parallel_wcet(c: &mut Criterion) {
+    let planner = default_scenario(2016).unwrap();
+    let mesh = Mesh::square(8).unwrap();
+    let memory = Coord::from_row_col(0, 0);
+    let placements = Placement::paper_set(&mesh, memory).unwrap();
+    let phases = planner
+        .parallel_phases(&placements[0], TrafficModel::default())
+        .unwrap();
+    let mut group = c.benchmark_group("fig2/parallel_wcet");
+    for (label, config) in [("regular_l4", NocConfig::regular(4)), ("waw_wap", NocConfig::waw_wap())] {
+        let estimator = WcetEstimator::new(8, memory, 30, config).unwrap();
+        group.bench_function(label, |b| {
+            b.iter(|| black_box(parallel_wcet(&estimator, black_box(&phases)).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_planning, bench_phase_derivation, bench_parallel_wcet);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! Criterion bench: raw throughput of the cycle-accurate simulator substrate —
+//! cycles per second of an 8×8 network under hotspot load, and the average
+//! performance experiment on the 4×4 platform.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+use wnoc_bench::avg_perf::{run, AvgPerfParams};
+use wnoc_core::flow::FlowSet;
+use wnoc_core::{Coord, Mesh, NocConfig};
+use wnoc_sim::network::Network;
+
+fn bench_network_step(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulator/hotspot_steps");
+    let cycles_per_iter = 1_000u64;
+    group.throughput(Throughput::Elements(cycles_per_iter));
+    group.sample_size(20);
+    for (label, config) in [("regular", NocConfig::regular(4)), ("waw_wap", NocConfig::waw_wap())] {
+        group.bench_function(label, |b| {
+            let mesh = Mesh::square(8).unwrap();
+            let hotspot = Coord::from_row_col(0, 0);
+            let flows = FlowSet::all_to_one(&mesh, hotspot).unwrap();
+            b.iter_batched(
+                || {
+                    let mut network = Network::new(&mesh, config, &flows).unwrap();
+                    // Pre-load traffic so every step has work to do.
+                    let dst = mesh.node_id(hotspot).unwrap();
+                    for flow in flows.flows() {
+                        for _ in 0..4 {
+                            network.offer(flow.src, dst, 4).unwrap();
+                        }
+                    }
+                    network
+                },
+                |mut network| {
+                    for _ in 0..cycles_per_iter {
+                        network.step();
+                    }
+                    black_box(network.stats().flits_delivered)
+                },
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_avg_perf_small(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulator/avg_perf_4x4");
+    group.sample_size(10);
+    group.bench_function("both_designs", |b| {
+        b.iter(|| {
+            let result = run(AvgPerfParams {
+                mesh_side: 4,
+                loaded_cores: 15,
+                events_per_core: 30,
+                seed: 7,
+                max_cycles: 5_000_000,
+            })
+            .unwrap();
+            black_box(result.waw_wap_cycles)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_network_step, bench_avg_perf_small);
+criterion_main!(benches);

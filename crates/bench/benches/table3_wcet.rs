@@ -1,0 +1,61 @@
+//! Criterion bench: cost of the Table III experiment (per-core EEMBC WCET
+//! ratios) and of the underlying WCET estimator construction.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use wnoc_bench::Table3;
+use wnoc_core::{Coord, NocConfig};
+use wnoc_manycore::wcet::WcetEstimator;
+use wnoc_workloads::eembc::EembcBenchmark;
+
+fn bench_estimator_construction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table3/estimator_new");
+    group.sample_size(20);
+    for (label, config) in [("regular", NocConfig::regular(4)), ("waw_wap", NocConfig::waw_wap())] {
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let est =
+                    WcetEstimator::new(8, Coord::from_row_col(0, 0), 30, black_box(config))
+                        .unwrap();
+                black_box(est.mesh().router_count())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_core_wcet(c: &mut Criterion) {
+    let estimator =
+        WcetEstimator::new(8, Coord::from_row_col(0, 0), 30, NocConfig::waw_wap()).unwrap();
+    let trace = EembcBenchmark::Matrix.trace(1);
+    c.bench_function("table3/core_wcet_single", |b| {
+        b.iter(|| {
+            black_box(
+                estimator
+                    .core_wcet(black_box(Coord::from_row_col(7, 7)), &trace)
+                    .unwrap(),
+            )
+        })
+    });
+}
+
+fn bench_full_table3(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table3/full");
+    group.sample_size(10);
+    group.bench_function("8x8_16_benchmarks", |b| {
+        b.iter(|| {
+            let table = Table3::run(8, 4, 1).unwrap();
+            black_box(table.cores_better())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_estimator_construction,
+    bench_core_wcet,
+    bench_full_table3
+);
+criterion_main!(benches);

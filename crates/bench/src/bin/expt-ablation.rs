@@ -1,0 +1,7 @@
+//! Ablation of the two mechanisms (WaP alone, WaW alone, both) on the 8×8
+//! all-to-memory scenario.
+
+fn main() {
+    let ablation = wnoc_bench::Ablation::run(8, 4, 4).expect("ablation computation");
+    print!("{}", ablation.render());
+}

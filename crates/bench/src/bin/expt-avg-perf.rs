@@ -1,0 +1,20 @@
+//! Measures the average-performance impact of WaW+WaP on the cycle-accurate
+//! platform (operation mode).  Pass `--small` for a quick 4×4 run.
+
+use wnoc_bench::avg_perf::{render, run, AvgPerfParams};
+
+fn main() {
+    let small = std::env::args().any(|a| a == "--small");
+    let params = if small {
+        AvgPerfParams {
+            mesh_side: 4,
+            loaded_cores: 15,
+            events_per_core: 60,
+            ..AvgPerfParams::default()
+        }
+    } else {
+        AvgPerfParams::default()
+    };
+    let result = run(params).expect("average performance run");
+    print!("{}", render(&result));
+}

@@ -1,0 +1,19 @@
+//! Regenerates Figure 2(a): WCET of the 16-core 3DPP avionics application for
+//! maximum packet sizes L1/L4/L8, regular wNoC vs WaW+WaP (placement P0).
+
+use wnoc_bench::{Fig2Params, Figure2};
+
+fn main() {
+    let figure = Figure2::run(Fig2Params::default()).expect("figure 2 computation");
+    println!("Figure 2(a) — 3DPP WCET vs maximum packet size (placement P0)\n");
+    println!("L      | regular wNoC | WaW+WaP   | improvement");
+    for point in &figure.packet_sizes {
+        println!(
+            "L{:<5} | {:>12} | {:>9} | {:>10.2}x",
+            point.max_packet_flits,
+            point.regular_wcet,
+            point.waw_wap_wcet,
+            point.improvement()
+        );
+    }
+}

@@ -1,0 +1,21 @@
+//! Regenerates Figure 2(b): WCET of the 16-core 3DPP avionics application under
+//! placements P0–P3 (maximum packet size 1).
+
+use wnoc_bench::{Fig2Params, Figure2};
+
+fn main() {
+    let figure = Figure2::run(Fig2Params::default()).expect("figure 2 computation");
+    println!("Figure 2(b) — 3DPP WCET vs placement (L = 1)\n");
+    println!("place  | regular wNoC | WaW+WaP");
+    for point in &figure.placements {
+        println!(
+            "{:<6} | {:>12} | {:>9}",
+            point.placement, point.regular_wcet, point.waw_wap_wcet
+        );
+    }
+    println!(
+        "\nvariability across placements: regular {:.2}x, WaW+WaP {:.2}x",
+        figure.placement_variability(false),
+        figure.placement_variability(true)
+    );
+}

@@ -1,0 +1,7 @@
+//! Regenerates the Section III worked example: worst-case latency at a 4-way
+//! contended output port, regular packetization vs WaP.
+
+fn main() {
+    let slot = wnoc_bench::SlotModel::run().expect("slot model computation");
+    print!("{}", slot.render());
+}

@@ -1,0 +1,6 @@
+//! Regenerates Table I: arbitration weights of router R(1,1) in a 2×2 mesh.
+
+fn main() {
+    let table = wnoc_bench::Table1::run().expect("table 1 computation");
+    print!("{}", table.render());
+}

@@ -1,0 +1,10 @@
+//! Regenerates Table II: analytical WCTT bounds for mesh sizes 2×2…8×8 plus a
+//! simulated validation of the ordering on small meshes.
+//!
+//! Pass `--no-sim` to skip the cycle-accurate validation runs.
+
+fn main() {
+    let simulate = !std::env::args().any(|a| a == "--no-sim");
+    let table = wnoc_bench::Table2::run(simulate).expect("table 2 computation");
+    print!("{}", table.render());
+}

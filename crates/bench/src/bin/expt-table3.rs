@@ -1,0 +1,14 @@
+//! Regenerates Table III: per-core WCET of the EEMBC-like suite with WaW+WaP
+//! normalised to the regular wNoC (8×8 mesh, memory at R(0,0)).
+
+fn main() {
+    let table = wnoc_bench::Table3::run(8, 4, 1).expect("table 3 computation");
+    print!("{}", table.render());
+    println!(
+        "\ncores worse: {}   cores better: {}   worst slowdown: {:.2}x   best improvement: {:.4}",
+        table.cores_worse(),
+        table.cores_better(),
+        table.worst_slowdown(),
+        table.best_improvement()
+    );
+}

@@ -1,0 +1,248 @@
+//! Experiments E4 and E5 — Figure 2: WCET estimates of the 16-core 3D path
+//! planning (3DPP) avionics application.
+//!
+//! * **Figure 2(a)**: placement P0, maximum packet size L ∈ {1, 4, 8} for the
+//!   regular design vs WaW + WaP.
+//! * **Figure 2(b)**: maximum packet size 1, placements P0–P3.
+
+use serde::{Deserialize, Serialize};
+
+use wnoc_core::{Coord, Mesh, NocConfig, Result};
+use wnoc_manycore::wcet::{parallel_wcet, ParallelPhase, WcetEstimator};
+use wnoc_workloads::avionics::{default_scenario, TrafficModel};
+use wnoc_workloads::placement::Placement;
+
+/// One bar pair of Figure 2(a): a maximum packet size with both designs' WCET.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PacketSizePoint {
+    /// The maximum allowed packet size `L` (flits).
+    pub max_packet_flits: u32,
+    /// WCET estimate of the regular wNoC, in cycles.
+    pub regular_wcet: u64,
+    /// WCET estimate of WaW + WaP, in cycles.
+    pub waw_wap_wcet: u64,
+}
+
+impl PacketSizePoint {
+    /// Improvement factor of WaW + WaP over the regular design.
+    pub fn improvement(&self) -> f64 {
+        self.regular_wcet as f64 / self.waw_wap_wcet.max(1) as f64
+    }
+}
+
+/// One bar pair of Figure 2(b): a placement with both designs' WCET.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PlacementPoint {
+    /// Placement name (P0–P3).
+    pub placement: String,
+    /// WCET estimate of the regular wNoC (L = 1), in cycles.
+    pub regular_wcet: u64,
+    /// WCET estimate of WaW + WaP, in cycles.
+    pub waw_wap_wcet: u64,
+}
+
+/// The Figure 2 reproduction.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Figure2 {
+    /// Figure 2(a): WCET vs maximum packet size, placement P0.
+    pub packet_sizes: Vec<PacketSizePoint>,
+    /// Figure 2(b): WCET vs placement, L = 1.
+    pub placements: Vec<PlacementPoint>,
+}
+
+/// Parameters of the Figure 2 experiments.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Fig2Params {
+    /// Mesh side (8 in the paper).
+    pub mesh_side: u16,
+    /// Memory service latency bound, in cycles.
+    pub memory_service_cycles: u64,
+    /// Seed of the obstacle map.
+    pub seed: u64,
+}
+
+impl Default for Fig2Params {
+    fn default() -> Self {
+        Self {
+            mesh_side: 8,
+            memory_service_cycles: 30,
+            seed: 2016,
+        }
+    }
+}
+
+fn phases_for(placement: &Placement, seed: u64) -> Result<Vec<ParallelPhase>> {
+    let planner = default_scenario(seed)?;
+    planner.parallel_phases(placement, TrafficModel::default())
+}
+
+fn app_wcet(
+    params: Fig2Params,
+    config: NocConfig,
+    phases: &[ParallelPhase],
+) -> Result<u64> {
+    let memory = Coord::from_row_col(0, 0);
+    let estimator = WcetEstimator::new(
+        params.mesh_side,
+        memory,
+        params.memory_service_cycles,
+        config,
+    )?;
+    parallel_wcet(&estimator, phases)
+}
+
+impl Figure2 {
+    /// Runs both sub-experiments.
+    ///
+    /// # Errors
+    ///
+    /// Never fails for the default parameters.
+    pub fn run(params: Fig2Params) -> Result<Self> {
+        let mesh = Mesh::square(params.mesh_side)?;
+        let memory = Coord::from_row_col(0, 0);
+        let placements = Placement::paper_set(&mesh, memory)?;
+
+        // Figure 2(a): placement P0, sweep the maximum packet size.
+        let p0_phases = phases_for(&placements[0], params.seed)?;
+        let mut packet_sizes = Vec::new();
+        for l in [1u32, 4, 8] {
+            let regular = app_wcet(params, NocConfig::regular(l), &p0_phases)?;
+            let proposed = app_wcet(params, NocConfig::waw_wap(), &p0_phases)?;
+            packet_sizes.push(PacketSizePoint {
+                max_packet_flits: l,
+                regular_wcet: regular,
+                waw_wap_wcet: proposed,
+            });
+        }
+
+        // Figure 2(b): L = 1, sweep the placement.
+        let mut placement_points = Vec::new();
+        for placement in &placements {
+            let phases = phases_for(placement, params.seed)?;
+            let regular = app_wcet(params, NocConfig::regular(1), &phases)?;
+            let proposed = app_wcet(params, NocConfig::waw_wap(), &phases)?;
+            placement_points.push(PlacementPoint {
+                placement: placement.name().to_string(),
+                regular_wcet: regular,
+                waw_wap_wcet: proposed,
+            });
+        }
+
+        Ok(Self {
+            packet_sizes,
+            placements: placement_points,
+        })
+    }
+
+    /// Variability (max / min WCET across placements) of a design in the
+    /// Figure 2(b) data: the paper reports over 6× for the regular wNoC and
+    /// roughly 20% for WaW + WaP.
+    pub fn placement_variability(&self, waw_wap: bool) -> f64 {
+        let values: Vec<u64> = self
+            .placements
+            .iter()
+            .map(|p| if waw_wap { p.waw_wap_wcet } else { p.regular_wcet })
+            .collect();
+        let max = values.iter().max().copied().unwrap_or(0) as f64;
+        let min = values.iter().min().copied().unwrap_or(1).max(1) as f64;
+        max / min
+    }
+
+    /// Renders both panels as text.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str("Figure 2(a) — 3DPP WCET estimate vs maximum packet size (placement P0)\n");
+        out.push_str("L      | regular wNoC | WaW+WaP   | improvement\n");
+        for point in &self.packet_sizes {
+            out.push_str(&format!(
+                "L{:<5} | {:>12} | {:>9} | {:>10.2}x\n",
+                point.max_packet_flits,
+                point.regular_wcet,
+                point.waw_wap_wcet,
+                point.improvement()
+            ));
+        }
+        out.push_str("\nFigure 2(b) — 3DPP WCET estimate vs placement (L = 1)\n");
+        out.push_str("place  | regular wNoC | WaW+WaP\n");
+        for point in &self.placements {
+            out.push_str(&format!(
+                "{:<6} | {:>12} | {:>9}\n",
+                point.placement, point.regular_wcet, point.waw_wap_wcet
+            ));
+        }
+        out.push_str(&format!(
+            "\nvariability across placements: regular {:.2}x, WaW+WaP {:.2}x\n",
+            self.placement_variability(false),
+            self.placement_variability(true)
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_params() -> Fig2Params {
+        Fig2Params {
+            mesh_side: 8,
+            memory_service_cycles: 30,
+            seed: 2016,
+        }
+    }
+
+    #[test]
+    fn figure2a_improvement_grows_with_packet_size() {
+        let fig = Figure2::run(small_params()).unwrap();
+        assert_eq!(fig.packet_sizes.len(), 3);
+        // WaW+WaP wins for every packet size, and its advantage grows with L
+        // (paper: 1.4x at L1 up to 3.9x at L8).
+        let improvements: Vec<f64> = fig.packet_sizes.iter().map(|p| p.improvement()).collect();
+        assert!(improvements[0] > 1.0, "L1 improvement {}", improvements[0]);
+        assert!(
+            improvements[2] > improvements[0],
+            "L8 ({}) should beat L1 ({})",
+            improvements[2],
+            improvements[0]
+        );
+        // The proposed design is insensitive to L.
+        let wap: Vec<u64> = fig.packet_sizes.iter().map(|p| p.waw_wap_wcet).collect();
+        assert_eq!(wap[0], wap[1]);
+        assert_eq!(wap[1], wap[2]);
+    }
+
+    #[test]
+    fn figure2b_placement_variability_shrinks() {
+        let fig = Figure2::run(small_params()).unwrap();
+        assert_eq!(fig.placements.len(), 4);
+        let regular_var = fig.placement_variability(false);
+        let proposed_var = fig.placement_variability(true);
+        // The paper reports >6x vs ~1.2x; our platform differs but the ordering
+        // and the rough magnitudes must hold.
+        assert!(
+            regular_var > 1.5 * proposed_var,
+            "regular {regular_var} vs proposed {proposed_var}"
+        );
+        assert!(proposed_var < 2.0, "proposed variability {proposed_var}");
+        // WaW+WaP achieves a lower WCET than the regular design for every
+        // placement.
+        for point in &fig.placements {
+            assert!(
+                point.waw_wap_wcet < point.regular_wcet,
+                "{}: {} vs {}",
+                point.placement,
+                point.waw_wap_wcet,
+                point.regular_wcet
+            );
+        }
+    }
+
+    #[test]
+    fn render_mentions_every_placement_and_packet_size() {
+        let fig = Figure2::run(small_params()).unwrap();
+        let text = fig.render();
+        for name in ["P0", "P1", "P2", "P3", "L1", "L4", "L8", "variability"] {
+            assert!(text.contains(name), "missing {name}");
+        }
+    }
+}

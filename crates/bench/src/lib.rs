@@ -1,0 +1,39 @@
+//! # wnoc-bench
+//!
+//! Experiment harness regenerating every table and figure of the paper's
+//! evaluation, plus an ablation of the two proposed mechanisms.
+//!
+//! | Experiment | Paper artefact | Module | Binary |
+//! |------------|----------------|--------|--------|
+//! | E1 | Table I (arbitration weights, 2×2 mesh) | [`table1`] | `expt-table1` |
+//! | E2 | Table II (WCTT vs mesh size) | [`table2`] | `expt-table2` |
+//! | E3 | Table III (normalised per-core WCET, EEMBC) | [`table3`] | `expt-table3` |
+//! | E4 | Figure 2(a) (3DPP WCET vs max packet size) | [`fig2`] | `expt-fig2a` |
+//! | E5 | Figure 2(b) (3DPP WCET vs placement) | [`fig2`] | `expt-fig2b` |
+//! | E6 | Average performance (< 1% degradation) | [`avg_perf`] | `expt-avg-perf` |
+//! | E7 | Section III slot model (3·L+S vs 3·m+m) | [`slot`] | `expt-slot-model` |
+//! | A1 | Ablation: WaP alone, WaW alone, both | [`ablation`] | `expt-ablation` |
+//!
+//! Criterion benchmarks under `benches/` measure the cost of regenerating each
+//! artefact and the simulator's raw throughput, so regressions in the substrate
+//! are visible.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod ablation;
+pub mod avg_perf;
+pub mod fig2;
+pub mod slot;
+pub mod table1;
+pub mod table2;
+pub mod table3;
+
+pub use ablation::Ablation;
+pub use avg_perf::{AveragePerformance, AvgPerfParams};
+pub use fig2::{Fig2Params, Figure2};
+pub use slot::SlotModel;
+pub use table1::Table1;
+pub use table2::Table2;
+pub use table3::Table3;

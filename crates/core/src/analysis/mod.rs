@@ -1,0 +1,34 @@
+//! Analytical worst-case traversal time (WCTT) models.
+//!
+//! Two models are provided, matching the two designs compared throughout the
+//! paper:
+//!
+//! * [`regular::RegularWcttModel`] — the baseline wormhole mesh with plain
+//!   round-robin arbitration.  Because the analysis must be *time composable*
+//!   (independent of the co-runners' actual load), every output port on the
+//!   path is assumed to be contended by every input port that could legally
+//!   request it, each contender carrying a maximum-size packet that can itself
+//!   be blocked downstream (chained blocking).  The resulting bound grows
+//!   multiplicatively with the path length, which is the poor scalability the
+//!   paper demonstrates in Table II.
+//! * [`weighted::WeightedWcttModel`] — the proposed WaW + WaP design.  Each
+//!   flow is statically guaranteed a share of every output port it uses, so the
+//!   per-hop waiting time is bounded by one arbitration round (the number of
+//!   flows sharing the port times the minimum slice size) and the end-to-end
+//!   bound grows linearly with the number of contending flows.
+//!
+//! [`slot`] contains the single-port worked example of Section III
+//! (`3·L + S` vs `3·m + m`), [`table`] assembles whole-mesh WCTT tables
+//! (Table II) and [`ubd`] computes the upper-bound delays used by the WCET
+//! computation mode (Tables III and the Figure 2 experiments).
+
+pub mod regular;
+pub mod slot;
+pub mod table;
+pub mod ubd;
+pub mod weighted;
+
+pub use regular::RegularWcttModel;
+pub use table::{WcttSummary, WcttTable, WcttTableRow};
+pub use ubd::UpperBoundDelay;
+pub use weighted::WeightedWcttModel;

@@ -1,0 +1,379 @@
+//! Time-composable WCTT bound for the baseline (round-robin, regular
+//! packetization) wormhole mesh.
+//!
+//! # Model
+//!
+//! Time composability forbids any assumption about *how much* traffic the other
+//! flows inject (Section II.A of the paper): whenever the packet under analysis
+//! needs an output port, every other flow that could use that port is assumed
+//! to be requesting it too (assumption (2)), with a maximum-size packet
+//! (assumption (4)), in an already congested network (assumption (5)).  What is
+//! statically known is the *flow topology* of the platform — which
+//! source/destination pairs can communicate at all (assumption (1)); in the
+//! paper's evaluation every node communicates with the memory controller at
+//! `R(0,0)`.
+//!
+//! The bound is computed with the recursion
+//!
+//! ```text
+//! drain(r, out)  = worst-case time for one granted L-flit contender packet to
+//!                  completely clear output `out` of router r
+//!                = eject + L                                        if out = PME
+//!                = link + router
+//!                  + max over the output ports o' that flows arriving over this
+//!                    link actually use at the next router r'
+//!                    [ block(r', in', o') + drain(r', o') ]          otherwise
+//!
+//! block(r, in, out) = (number of *other* input ports carrying at least one flow
+//!                      towards `out`) · drain(r, out)
+//! ```
+//!
+//! i.e. round-robin serves one maximum-size packet from every other contending
+//! input port before the packet under analysis, and each of those packets can
+//! itself be blocked downstream by its own worst-case contention (chained /
+//! indirect blocking).  The packet under analysis then pays
+//! `router + block(r_k, in_k, out_k)` at every hop plus link, ejection and its
+//! own serialisation latency.
+//!
+//! The chained `drain` terms compound along the path, which is exactly the
+//! orders-of-magnitude WCTT blow-up with network size that Table II of the
+//! paper reports for the regular mesh.
+
+use std::collections::HashMap;
+
+use crate::config::RouterTiming;
+use crate::flow::FlowSet;
+use crate::geometry::Coord;
+use crate::port::Port;
+use crate::routing::Route;
+use crate::topology::Mesh;
+
+/// Memoised evaluator of the chained-blocking WCTT bound for a regular
+/// round-robin wormhole mesh.
+///
+/// # Examples
+///
+/// ```
+/// use wnoc_core::analysis::RegularWcttModel;
+/// use wnoc_core::config::RouterTiming;
+/// use wnoc_core::flow::FlowSet;
+/// use wnoc_core::geometry::Coord;
+/// use wnoc_core::routing::{RoutingAlgorithm, XyRouting};
+/// use wnoc_core::topology::Mesh;
+///
+/// let mesh = Mesh::square(4)?;
+/// let flows = FlowSet::all_to_one(&mesh, Coord::from_row_col(0, 0))?;
+/// let mut model = RegularWcttModel::new(&flows, RouterTiming::CANONICAL, 1);
+/// let near = XyRouting.route(&mesh, Coord::from_row_col(0, 1), Coord::from_row_col(0, 0))?;
+/// let far = XyRouting.route(&mesh, Coord::from_row_col(3, 3), Coord::from_row_col(0, 0))?;
+/// // The WCTT of the far corner is dramatically larger than the adjacent
+/// // node's, even though it is only six hops longer.
+/// assert!(model.route_wctt(&far, 1) > 10 * model.route_wctt(&near, 1));
+/// # Ok::<(), wnoc_core::Error>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct RegularWcttModel {
+    mesh: Mesh,
+    timing: RouterTiming,
+    /// Maximum packet size contenders may use (the paper's `L`), in flits.
+    contender_flits: u32,
+    /// Number of flows using each (router, input, output) triple.
+    pair_flows: HashMap<(Coord, Port, Port), u32>,
+    drain_memo: HashMap<(Coord, Port), u64>,
+}
+
+impl RegularWcttModel {
+    /// Creates a model for the platform described by `flows`, with the given
+    /// timing and maximum allowed packet size (`contender_flits`, the paper's
+    /// `L`).
+    pub fn new(flows: &FlowSet, timing: RouterTiming, contender_flits: u32) -> Self {
+        let mesh = flows.mesh().clone();
+        let mut pair_flows = HashMap::new();
+        for id in (0..flows.len()).map(crate::flow::FlowId) {
+            if let Some(route) = flows.route(id) {
+                for hop in route.hops() {
+                    *pair_flows
+                        .entry((hop.router, hop.input, hop.output))
+                        .or_insert(0) += 1;
+                }
+            }
+        }
+        Self {
+            mesh,
+            timing,
+            contender_flits: contender_flits.max(1),
+            pair_flows,
+            drain_memo: HashMap::new(),
+        }
+    }
+
+    /// The maximum packet size assumed for contenders.
+    pub fn contender_flits(&self) -> u32 {
+        self.contender_flits
+    }
+
+    /// Number of flows of the platform that traverse `router` from `input` to
+    /// `output`.
+    pub fn pair_flows(&self, router: Coord, input: Port, output: Port) -> u32 {
+        self.pair_flows
+            .get(&(router, input, output))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Number of input ports other than `input` that carry at least one flow
+    /// towards `output` at `router` — the contenders a packet entering through
+    /// `input` can find requesting the same output.
+    pub fn contender_count(&self, router: Coord, input: Port, output: Port) -> u32 {
+        Port::ALL
+            .iter()
+            .filter(|&&p| p != input && p != output && self.pair_flows(router, p, output) > 0)
+            .count() as u32
+    }
+
+    /// Worst-case time for one granted maximum-size contender packet to
+    /// completely clear output `output` of `router`, including any downstream
+    /// chained blocking of that packet.
+    pub fn drain_time(&mut self, router: Coord, output: Port) -> u64 {
+        if let Some(&d) = self.drain_memo.get(&(router, output)) {
+            return d;
+        }
+        let timing = self.timing;
+        let l = u64::from(self.contender_flits);
+        let ejection = u64::from(timing.ejection_cycles).saturating_add(l);
+        let value = match output {
+            Port::Local => ejection,
+            Port::Mesh(dir) => match self.mesh.neighbor(router, dir) {
+                // An output port facing outside the mesh carries no traffic.
+                None => ejection,
+                Some(next) => {
+                    let arrival = Port::Mesh(dir.opposite());
+                    let mut worst = ejection;
+                    for o_next in Port::ALL {
+                        if self.pair_flows(next, arrival, o_next) == 0 {
+                            continue;
+                        }
+                        let block = self.blocking(next, arrival, o_next);
+                        let drain = self.drain_time(next, o_next);
+                        worst = worst.max(block.saturating_add(drain));
+                    }
+                    u64::from(timing.link_cycles)
+                        .saturating_add(u64::from(timing.router_cycles))
+                        .saturating_add(worst)
+                }
+            },
+        };
+        self.drain_memo.insert((router, output), value);
+        value
+    }
+
+    /// Worst-case time a packet entering `router` through `input` waits for
+    /// output `output` before being granted: every other contending input port
+    /// is served once, each taking its full drain time.
+    pub fn blocking(&mut self, router: Coord, input: Port, output: Port) -> u64 {
+        let contenders = u64::from(self.contender_count(router, input, output));
+        contenders.saturating_mul(self.drain_time(router, output))
+    }
+
+    /// Time-composable WCTT bound for one packet of `own_flits` flits following
+    /// `route`.
+    pub fn route_wctt(&mut self, route: &Route, own_flits: u32) -> u64 {
+        let timing = self.timing;
+        let mut total = 0u64;
+        for hop in route.hops() {
+            total = total
+                .saturating_add(u64::from(timing.router_cycles))
+                .saturating_add(self.blocking(hop.router, hop.input, hop.output));
+        }
+        total
+            .saturating_add(u64::from(timing.link_cycles) * u64::from(route.hop_count()))
+            .saturating_add(u64::from(timing.ejection_cycles))
+            .saturating_add(u64::from(own_flits.saturating_sub(1)))
+    }
+
+    /// Conservative WCTT bound for a message split into several packets: each
+    /// packet is assumed to suffer the full per-packet bound back to back.
+    pub fn message_wctt(&mut self, route: &Route, packet_flit_sizes: &[u32]) -> u64 {
+        packet_flit_sizes
+            .iter()
+            .map(|&s| self.route_wctt(route, s))
+            .fold(0u64, u64::saturating_add)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::port::Direction;
+    use crate::routing::{RoutingAlgorithm, XyRouting};
+
+    fn route(mesh: &Mesh, src: (u16, u16), dst: (u16, u16)) -> Route {
+        XyRouting
+            .route(
+                mesh,
+                Coord::from_row_col(src.0, src.1),
+                Coord::from_row_col(dst.0, dst.1),
+            )
+            .unwrap()
+    }
+
+    fn all_to_memory(side: u16) -> (Mesh, FlowSet) {
+        let mesh = Mesh::square(side).unwrap();
+        let flows = FlowSet::all_to_one(&mesh, Coord::from_row_col(0, 0)).unwrap();
+        (mesh, flows)
+    }
+
+    #[test]
+    fn contender_counts_follow_the_flow_set() {
+        let (mesh, flows) = all_to_memory(8);
+        let model = RegularWcttModel::new(&flows, RouterTiming::CANONICAL, 1);
+        // On the column-0 trunk, a packet coming from the south competes with
+        // the east input (row traffic merging in) and the local injection.
+        let r30 = mesh.check(Coord::from_row_col(3, 0)).unwrap();
+        assert_eq!(
+            model.contender_count(r30, Port::Mesh(Direction::South), Port::Mesh(Direction::North)),
+            2
+        );
+        // Along a row, a westbound packet only competes with the local injection.
+        let r05 = Coord::from_row_col(0, 5);
+        assert_eq!(
+            model.contender_count(r05, Port::Mesh(Direction::East), Port::Mesh(Direction::West)),
+            1
+        );
+        // No flow travels east or south anywhere in this scenario.
+        assert_eq!(
+            model.contender_count(r05, Port::Local, Port::Mesh(Direction::East)),
+            0
+        );
+    }
+
+    #[test]
+    fn wctt_covers_zero_load_latency() {
+        let (mesh, flows) = all_to_memory(4);
+        let mut model = RegularWcttModel::new(&flows, RouterTiming::CANONICAL, 1);
+        for src in mesh.routers() {
+            if src == Coord::new(0, 0) {
+                continue;
+            }
+            let r = XyRouting.route(&mesh, src, Coord::new(0, 0)).unwrap();
+            let w = model.route_wctt(&r, 1);
+            assert!(w >= RouterTiming::CANONICAL.zero_load_head_latency(r.hop_count()));
+        }
+    }
+
+    #[test]
+    fn wctt_grows_with_distance_along_a_row() {
+        let (mesh, flows) = all_to_memory(8);
+        let mut model = RegularWcttModel::new(&flows, RouterTiming::CANONICAL, 1);
+        let mut last = 0;
+        for col in 1..8u16 {
+            let r = route(&mesh, (0, col), (0, 0));
+            let w = model.route_wctt(&r, 1);
+            assert!(w > last, "WCTT must grow with distance (col {col})");
+            last = w;
+        }
+    }
+
+    #[test]
+    fn column_trunk_is_far_worse_than_row() {
+        // Y-dimension hops aggregate whole rows of traffic, so the chained
+        // blocking compounds much faster than along a single row.
+        let (mesh, flows) = all_to_memory(8);
+        let mut model = RegularWcttModel::new(&flows, RouterTiming::CANONICAL, 1);
+        let x_only = model.route_wctt(&route(&mesh, (0, 7), (0, 0)), 1);
+        let y_only = model.route_wctt(&route(&mesh, (7, 0), (0, 0)), 1);
+        assert!(y_only > 10 * x_only, "y {y_only} vs x {x_only}");
+    }
+
+    #[test]
+    fn wctt_grows_with_contender_packet_size() {
+        let (mesh, flows) = all_to_memory(4);
+        let r = route(&mesh, (3, 3), (0, 0));
+        let mut l1 = RegularWcttModel::new(&flows, RouterTiming::CANONICAL, 1);
+        let mut l4 = RegularWcttModel::new(&flows, RouterTiming::CANONICAL, 4);
+        let mut l8 = RegularWcttModel::new(&flows, RouterTiming::CANONICAL, 8);
+        let w1 = l1.route_wctt(&r, 1);
+        let w4 = l4.route_wctt(&r, 1);
+        let w8 = l8.route_wctt(&r, 1);
+        // The bound degrades monotonically (and substantially) as the maximum
+        // allowed packet size grows, because every contender slot lengthens.
+        assert!(w4 > w1 + 100, "L=4 ({w4}) should be far worse than L=1 ({w1})");
+        assert!(w8 > w4 + 100, "L=8 ({w8}) should be far worse than L=4 ({w4})");
+    }
+
+    #[test]
+    fn wctt_scales_poorly_with_mesh_size() {
+        // Shape of Table II: the worst-case WCTT grows by a large factor with
+        // every mesh size increase (the paper reports roughly 8x per step).
+        let mut previous = 0u64;
+        for side in [2u16, 3, 4, 5, 6, 7, 8] {
+            let (mesh, flows) = all_to_memory(side);
+            let mut model = RegularWcttModel::new(&flows, RouterTiming::CANONICAL, 1);
+            let corner = route(&mesh, (side - 1, side - 1), (0, 0));
+            let w = model.route_wctt(&corner, 1);
+            if side > 2 {
+                assert!(
+                    w > 3 * previous,
+                    "{side}x{side} WCTT {w} does not blow up vs previous {previous}"
+                );
+            }
+            previous = w;
+        }
+        // The 8x8 corner bound is in the millions of cycles, 4-5 orders of
+        // magnitude above the adjacent node, matching the shape of Table II.
+        assert!(previous > 100_000, "8x8 corner WCTT {previous} too small");
+    }
+
+    #[test]
+    fn adjacent_node_keeps_a_small_bound() {
+        let (mesh, flows) = all_to_memory(8);
+        let mut model = RegularWcttModel::new(&flows, RouterTiming::CANONICAL, 1);
+        let near = model.route_wctt(&route(&mesh, (0, 1), (0, 0)), 1);
+        // The best-placed node stays within tens of cycles (paper: 9).
+        assert!(near < 50, "adjacent node WCTT {near} unexpectedly large");
+    }
+
+    #[test]
+    fn memoisation_is_consistent() {
+        let (mesh, flows) = all_to_memory(5);
+        let r = route(&mesh, (4, 4), (0, 0));
+        let mut warm = RegularWcttModel::new(&flows, RouterTiming::CANONICAL, 4);
+        let first = warm.route_wctt(&r, 4);
+        let second = warm.route_wctt(&r, 4);
+        assert_eq!(first, second);
+        let mut cold = RegularWcttModel::new(&flows, RouterTiming::CANONICAL, 4);
+        assert_eq!(cold.route_wctt(&r, 4), first);
+    }
+
+    #[test]
+    fn message_wctt_sums_packets() {
+        let (mesh, flows) = all_to_memory(3);
+        let r = route(&mesh, (2, 2), (0, 0));
+        let mut model = RegularWcttModel::new(&flows, RouterTiming::CANONICAL, 4);
+        let single = model.route_wctt(&r, 4);
+        let double = model.message_wctt(&r, &[4, 4]);
+        assert_eq!(double, 2 * single);
+    }
+
+    #[test]
+    fn own_serialisation_latency_added_once() {
+        let (mesh, flows) = all_to_memory(3);
+        let r = route(&mesh, (2, 2), (0, 0));
+        let mut model = RegularWcttModel::new(&flows, RouterTiming::CANONICAL, 4);
+        let one = model.route_wctt(&r, 1);
+        let four = model.route_wctt(&r, 4);
+        assert_eq!(four - one, 3);
+    }
+
+    #[test]
+    fn all_to_all_flow_set_gives_larger_bounds() {
+        // Assuming any node may talk to any node can only increase contention.
+        let mesh = Mesh::square(4).unwrap();
+        let one = FlowSet::all_to_one(&mesh, Coord::from_row_col(0, 0)).unwrap();
+        let all = FlowSet::all_to_all(&mesh).unwrap();
+        let r = route(&mesh, (3, 3), (0, 0));
+        let mut m_one = RegularWcttModel::new(&one, RouterTiming::CANONICAL, 1);
+        let mut m_all = RegularWcttModel::new(&all, RouterTiming::CANONICAL, 1);
+        assert!(m_all.route_wctt(&r, 1) >= m_one.route_wctt(&r, 1));
+    }
+}

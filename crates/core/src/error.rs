@@ -1,0 +1,128 @@
+//! Error type shared across the crate.
+
+use std::fmt;
+
+use crate::geometry::{Coord, NodeId};
+
+/// Convenient result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors produced when constructing or querying NoC models.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Error {
+    /// Mesh dimensions were zero in at least one direction.
+    InvalidDims {
+        /// Requested width (columns).
+        width: u16,
+        /// Requested height (rows).
+        height: u16,
+    },
+    /// A coordinate does not lie inside the mesh.
+    CoordOutOfBounds {
+        /// The offending coordinate.
+        coord: Coord,
+        /// Mesh width.
+        width: u16,
+        /// Mesh height.
+        height: u16,
+    },
+    /// A node id does not belong to the mesh.
+    NodeOutOfBounds {
+        /// The offending node id.
+        node: NodeId,
+        /// Number of nodes in the mesh.
+        count: usize,
+    },
+    /// A flow was declared with identical source and destination.
+    SelfFlow {
+        /// The node that was both source and destination.
+        node: NodeId,
+    },
+    /// A route was requested between nodes of different meshes or outside the mesh.
+    InvalidRoute {
+        /// Source coordinate.
+        src: Coord,
+        /// Destination coordinate.
+        dst: Coord,
+    },
+    /// A packet or message was declared with zero length.
+    EmptyMessage,
+    /// A configuration parameter was outside its valid range.
+    InvalidConfig {
+        /// Human-readable description of the offending parameter.
+        reason: String,
+    },
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::InvalidDims { width, height } => {
+                write!(f, "invalid mesh dimensions {width}x{height}")
+            }
+            Error::CoordOutOfBounds {
+                coord,
+                width,
+                height,
+            } => write!(f, "coordinate {coord} outside {width}x{height} mesh"),
+            Error::NodeOutOfBounds { node, count } => {
+                write!(f, "node {node} outside mesh with {count} nodes")
+            }
+            Error::SelfFlow { node } => {
+                write!(f, "flow source and destination are both {node}")
+            }
+            Error::InvalidRoute { src, dst } => {
+                write!(f, "no valid route from {src} to {dst}")
+            }
+            Error::EmptyMessage => write!(f, "message payload must contain at least one flit"),
+            Error::InvalidConfig { reason } => write!(f, "invalid configuration: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_display_lowercase_without_punctuation() {
+        let errors = vec![
+            Error::InvalidDims {
+                width: 0,
+                height: 3,
+            },
+            Error::CoordOutOfBounds {
+                coord: Coord::new(9, 9),
+                width: 4,
+                height: 4,
+            },
+            Error::NodeOutOfBounds {
+                node: NodeId(99),
+                count: 16,
+            },
+            Error::SelfFlow { node: NodeId(3) },
+            Error::InvalidRoute {
+                src: Coord::new(0, 0),
+                dst: Coord::new(9, 9),
+            },
+            Error::EmptyMessage,
+            Error::InvalidConfig {
+                reason: "link width must be non-zero".to_string(),
+            },
+        ];
+        for e in errors {
+            let text = e.to_string();
+            assert!(!text.is_empty());
+            assert!(!text.ends_with('.'), "error message ends with period: {text}");
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Error>();
+    }
+}

@@ -1,0 +1,280 @@
+//! Property-based tests over the core primitives: routing, flow counting,
+//! weights, packetization and arbitration.
+
+use proptest::prelude::*;
+
+use wnoc_core::analysis::{RegularWcttModel, WeightedWcttModel};
+use wnoc_core::arbitration::{PortArbiter, RoundRobinArbiter, WawArbiter};
+use wnoc_core::config::RouterTiming;
+use wnoc_core::flow::FlowSet;
+use wnoc_core::geometry::Coord;
+use wnoc_core::packetization::{
+    MessageDescriptor, PacketizationPolicy, Packetizer, PhitGeometry,
+};
+use wnoc_core::port::{Direction, Port};
+use wnoc_core::routing::{xy_turn_allowed, RoutingAlgorithm, XyRouting};
+use wnoc_core::topology::Mesh;
+use wnoc_core::weights::WeightTable;
+use wnoc_core::{FlowId, MessageId, NodeId};
+
+fn mesh_dims() -> impl Strategy<Value = (u16, u16)> {
+    (1u16..=6, 1u16..=6).prop_filter("at least two nodes", |(w, h)| *w * *h >= 2)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// XY routes are minimal (Manhattan length) and every hop is a legal turn.
+    #[test]
+    fn xy_routes_are_minimal_and_legal(
+        (w, h) in mesh_dims(),
+        seed in any::<u64>(),
+    ) {
+        let mesh = Mesh::new(w, h).unwrap();
+        let nodes = mesh.router_count() as u64;
+        let src_idx = (seed % nodes) as usize;
+        let dst_idx = ((seed / nodes) % nodes) as usize;
+        let src = mesh.coord_of(NodeId(src_idx)).unwrap();
+        let dst = mesh.coord_of(NodeId(dst_idx)).unwrap();
+        let route = XyRouting.route(&mesh, src, dst).unwrap();
+        prop_assert_eq!(route.hop_count(), src.manhattan_distance(dst));
+        prop_assert_eq!(route.hops().first().unwrap().router, src);
+        prop_assert_eq!(route.hops().last().unwrap().router, dst);
+        for hop in route.hops() {
+            prop_assert!(xy_turn_allowed(hop.input, hop.output));
+        }
+        // Routes never revisit a router.
+        let mut seen: Vec<Coord> = route.hops().iter().map(|h| h.router).collect();
+        let len = seen.len();
+        seen.sort();
+        seen.dedup();
+        prop_assert_eq!(seen.len(), len);
+    }
+
+    /// Flow conservation: at every router the number of traversing flows
+    /// entering equals the number leaving, for arbitrary destinations.
+    #[test]
+    fn flow_conservation_all_to_one((w, h) in mesh_dims(), seed in any::<u64>()) {
+        let mesh = Mesh::new(w, h).unwrap();
+        let nodes = mesh.router_count() as u64;
+        let dst = mesh.coord_of(NodeId((seed % nodes) as usize)).unwrap();
+        let flows = FlowSet::all_to_one(&mesh, dst).unwrap();
+        prop_assert_eq!(flows.len(), mesh.router_count() - 1);
+        for router in mesh.routers() {
+            let inputs: usize = mesh.ports(router).iter()
+                .map(|p| flows.input_count(router, *p)).sum();
+            let outputs: usize = mesh.ports(router).iter()
+                .map(|p| flows.output_count(router, *p)).sum();
+            prop_assert_eq!(inputs, outputs);
+        }
+        // Every flow's route ends at the destination's local port.
+        for (id, _flow) in flows.iter() {
+            let route = flows.route(id).unwrap();
+            prop_assert_eq!(route.dst(), dst);
+            prop_assert_eq!(route.hops().last().unwrap().output, Port::Local);
+        }
+    }
+
+    /// Weights of every output port form a probability distribution (sum to 1)
+    /// and each individual weight lies in (0, 1].
+    #[test]
+    fn weights_normalise((w, h) in mesh_dims(), seed in any::<u64>()) {
+        let mesh = Mesh::new(w, h).unwrap();
+        let nodes = mesh.router_count() as u64;
+        let dst = mesh.coord_of(NodeId((seed % nodes) as usize)).unwrap();
+        let flows = FlowSet::all_to_one(&mesh, dst).unwrap();
+        let table = WeightTable::from_flow_set(&flows);
+        for router in mesh.routers() {
+            for output in mesh.ports(router) {
+                if table.output_flows(router, output) == 0 {
+                    continue;
+                }
+                let mut sum = 0.0;
+                for input in Port::ALL {
+                    let weight = table.weight(router, input, output);
+                    prop_assert!((0.0..=1.0 + 1e-9).contains(&weight));
+                    sum += weight;
+                }
+                prop_assert!((sum - 1.0).abs() < 1e-9);
+            }
+        }
+    }
+
+    /// WaP slicing preserves the payload: the slices carry at least as many
+    /// payload bits as the original message and the flit count matches the
+    /// closed-form `wap_slices`.
+    #[test]
+    fn wap_slicing_preserves_payload(regular_flits in 1u32..64) {
+        let geometry = PhitGeometry::PAPER;
+        let mut packetizer = Packetizer::new(PacketizationPolicy::wap(), geometry).unwrap();
+        let msg = MessageDescriptor {
+            id: MessageId(1),
+            flow: FlowId(0),
+            src: NodeId(1),
+            dst: NodeId(0),
+            regular_flits,
+            created: 0,
+        };
+        let packets = packetizer.packetize(&msg).unwrap();
+        let payload_bits = (regular_flits * geometry.link_width_bits)
+            .saturating_sub(geometry.control_bits);
+        prop_assert_eq!(packets.len() as u32, geometry.wap_slices(payload_bits));
+        // Every slice can carry link_width - control payload bits; together they
+        // cover the original payload.
+        let capacity: u32 = packets.len() as u32 * geometry.payload_bits_per_wap_flit();
+        prop_assert!(capacity >= payload_bits);
+        // Slices are single-flit and share the message id.
+        for p in &packets {
+            prop_assert_eq!(p.length_flits, 1);
+            prop_assert_eq!(p.message, MessageId(1));
+        }
+        // The wire overhead never exceeds one extra flit per original flit.
+        prop_assert!(packets.len() as u32 <= 2 * regular_flits);
+    }
+
+    /// Regular packetization never produces packets larger than L and covers
+    /// exactly the message length.
+    #[test]
+    fn regular_packetization_covers_message(
+        regular_flits in 1u32..64,
+        max_packet in 1u32..16,
+    ) {
+        let mut packetizer = Packetizer::new(
+            PacketizationPolicy::Regular { max_packet_flits: max_packet },
+            PhitGeometry::PAPER,
+        ).unwrap();
+        let msg = MessageDescriptor {
+            id: MessageId(7),
+            flow: FlowId(0),
+            src: NodeId(1),
+            dst: NodeId(0),
+            regular_flits,
+            created: 0,
+        };
+        let packets = packetizer.packetize(&msg).unwrap();
+        let total: u32 = packets.iter().map(|p| p.length_flits).sum();
+        prop_assert_eq!(total, regular_flits);
+        prop_assert!(packets.iter().all(|p| p.length_flits <= max_packet));
+    }
+
+    /// The weighted arbiter's long-run grant shares match the configured quotas
+    /// under saturation, for arbitrary small quota vectors.
+    #[test]
+    fn waw_arbiter_matches_quotas(q_west in 1u32..8, q_north in 1u32..8, q_east in 1u32..8) {
+        let west = Port::Mesh(Direction::West);
+        let north = Port::Mesh(Direction::North);
+        let east = Port::Mesh(Direction::East);
+        let mut arb = WawArbiter::new(&[(west, q_west), (north, q_north), (east, q_east)]);
+        let total_quota = q_west + q_north + q_east;
+        let rounds = 200 * total_quota;
+        let mut counts = std::collections::HashMap::new();
+        for _ in 0..rounds {
+            let winner = arb.grant(&[west, north, east]).unwrap();
+            *counts.entry(winner).or_insert(0u32) += 1;
+        }
+        let expect = |q: u32| f64::from(rounds) * f64::from(q) / f64::from(total_quota);
+        for (port, quota) in [(west, q_west), (north, q_north), (east, q_east)] {
+            let got = f64::from(*counts.get(&port).unwrap_or(&0));
+            let want = expect(quota);
+            prop_assert!((got - want).abs() <= f64::from(total_quota) + 1.0,
+                "port {port}: got {got}, want {want}");
+        }
+    }
+
+    /// Round-robin never lets any requester wait more than `Port::COUNT`
+    /// consecutive grants.
+    #[test]
+    fn round_robin_bounded_waiting(request_mask in 1u8..31) {
+        let requests: Vec<Port> = Port::ALL
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| request_mask & (1 << i) != 0)
+            .map(|(_, p)| *p)
+            .collect();
+        prop_assume!(!requests.is_empty());
+        let mut arb = RoundRobinArbiter::new();
+        let mut last_grant = vec![0usize; Port::COUNT];
+        for cycle in 1..=100usize {
+            let winner = arb.grant(&requests).unwrap();
+            last_grant[winner.index()] = cycle;
+        }
+        for p in &requests {
+            let gap = 100 - last_grant[p.index()];
+            prop_assert!(gap <= requests.len(), "port {p} waited {gap}");
+        }
+    }
+
+    /// The analytical WaW+WaP bound always dominates the zero-load latency and
+    /// is itself dominated by the regular chained-blocking bound for flows far
+    /// from the destination.
+    #[test]
+    fn analytical_bounds_ordering(side in 3u16..6, seed in any::<u64>()) {
+        let mesh = Mesh::square(side).unwrap();
+        let memory = Coord::from_row_col(0, 0);
+        let flows = FlowSet::all_to_one(&mesh, memory).unwrap();
+        let nodes = mesh.router_count() as u64;
+        let src = mesh.coord_of(NodeId((seed % nodes) as usize)).unwrap();
+        prop_assume!(src != memory);
+        let route = XyRouting.route(&mesh, src, memory).unwrap();
+        let timing = RouterTiming::CANONICAL;
+        let mut regular = RegularWcttModel::new(&flows, timing, 1);
+        let weighted = WeightedWcttModel::new(WeightTable::from_flow_set(&flows), timing, 1);
+        let zero_load = timing.zero_load_head_latency(route.hop_count());
+        let reg = regular.route_wctt(&route, 1);
+        let waw = weighted.packet_wctt(&route);
+        prop_assert!(reg >= zero_load);
+        prop_assert!(waw >= zero_load);
+        // For any flow at distance >= 3 the chained-blocking bound dominates.
+        if route.hop_count() >= 3 {
+            prop_assert!(reg >= waw, "regular {reg} < weighted {waw} for {src}");
+        }
+    }
+
+    /// Node-id/coordinate round trip over arbitrary meshes.
+    #[test]
+    fn node_id_round_trip((w, h) in mesh_dims()) {
+        let mesh = Mesh::new(w, h).unwrap();
+        for node in mesh.nodes() {
+            let coord = mesh.coord_of(node).unwrap();
+            prop_assert_eq!(mesh.node_id(coord).unwrap(), node);
+        }
+    }
+
+    /// Arbitrary coordinates inside the mesh always produce a valid coordinate
+    /// conversion, outside coordinates always fail.
+    #[test]
+    fn coord_bounds_checking((w, h) in mesh_dims(), x in 0u16..10, y in 0u16..10) {
+        let mesh = Mesh::new(w, h).unwrap();
+        let coord = Coord::new(x, y);
+        let inside = x < w && y < h;
+        prop_assert_eq!(mesh.node_id(coord).is_ok(), inside);
+        prop_assert_eq!(mesh.contains(coord), inside);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The regular chained-blocking WCTT is monotone in the contender packet
+    /// size L (assumption (4): larger allowed packets can only hurt).
+    #[test]
+    fn regular_bound_monotone_in_packet_size(side in 3u16..6, l in 1u32..8) {
+        let mesh = Mesh::square(side).unwrap();
+        let memory = Coord::from_row_col(0, 0);
+        let flows = FlowSet::all_to_one(&mesh, memory).unwrap();
+        let corner = XyRouting
+            .route(&mesh, Coord::new(side - 1, side - 1), memory)
+            .unwrap();
+        let mut small = RegularWcttModel::new(&flows, RouterTiming::CANONICAL, l);
+        let mut large = RegularWcttModel::new(&flows, RouterTiming::CANONICAL, l + 1);
+        prop_assert!(large.route_wctt(&corner, 1) >= small.route_wctt(&corner, 1));
+    }
+}
+
+/// Non-proptest sanity check: the property harness file also exercises the
+/// public facade imports used above.
+#[test]
+fn facade_types_are_reachable() {
+    let mesh = Mesh::square(2).unwrap();
+    assert_eq!(mesh.router_count(), 4);
+}

@@ -1,0 +1,46 @@
+//! # wnoc-manycore
+//!
+//! The 64-core manycore substrate of the paper's evaluation: in-order cores
+//! executing memory-access traces, a memory controller at `R(0,0)`, and the
+//! cycle-accurate NoC of `wnoc-sim` in between.
+//!
+//! Two execution views are provided, matching the paper's methodology:
+//!
+//! * **Operation mode** ([`system::ManycoreSystem`]): every memory transaction
+//!   actually traverses the simulated NoC; used to measure *average*
+//!   performance (the paper reports < 1% degradation for WaW + WaP).
+//! * **WCET computation mode** ([`wcet::WcetEstimator`]): every transaction is
+//!   charged its analytical upper bound delay (UBD); used to derive the WCET
+//!   estimates of Table III and Figure 2.
+//!
+//! # Example
+//!
+//! ```
+//! use wnoc_core::{Coord, NocConfig};
+//! use wnoc_manycore::trace::{Trace, TraceEvent};
+//! use wnoc_manycore::wcet::WcetEstimator;
+//!
+//! let estimator = WcetEstimator::new(8, Coord::from_row_col(0, 0), 30, NocConfig::waw_wap())?;
+//! let trace = Trace::from_events(vec![TraceEvent::load_after(100); 50]);
+//! let wcet = estimator.core_wcet(Coord::from_row_col(7, 7), &trace)?;
+//! assert!(wcet > trace.total_compute_cycles());
+//! # Ok::<(), wnoc_core::Error>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod cpu;
+pub mod memory;
+pub mod system;
+pub mod trace;
+pub mod transaction;
+pub mod wcet;
+
+pub use cpu::{Core, CoreState, CoreStats};
+pub use memory::MemoryController;
+pub use system::{ExecutionMode, ManycoreSystem, PlatformConfig};
+pub use trace::{Trace, TraceEvent};
+pub use transaction::{AccessKind, Transaction, TransactionId};
+pub use wcet::{parallel_wcet, ParallelPhase, WcetEstimator};

@@ -1,0 +1,115 @@
+//! Property-based tests of the manycore substrate: trace execution integrity,
+//! WCET monotonicity and consistency between operation-mode simulation and the
+//! analytical estimator.
+
+use proptest::prelude::*;
+
+use wnoc_core::{Coord, NocConfig};
+use wnoc_manycore::system::{ManycoreSystem, PlatformConfig};
+use wnoc_manycore::trace::{Trace, TraceEvent};
+use wnoc_manycore::transaction::AccessKind;
+use wnoc_manycore::wcet::WcetEstimator;
+
+fn trace_strategy() -> impl Strategy<Value = Trace> {
+    prop::collection::vec(
+        (1u64..50, prop_oneof![Just(None), Just(Some(AccessKind::Load)), Just(Some(AccessKind::Eviction))]),
+        1..25,
+    )
+    .prop_map(|events| {
+        Trace::from_events(
+            events
+                .into_iter()
+                .map(|(compute_cycles, access)| TraceEvent {
+                    compute_cycles,
+                    access,
+                })
+                .collect(),
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// A single core running an arbitrary trace on the simulated platform
+    /// issues exactly the accesses of its trace and finishes no earlier than
+    /// its pure compute time.
+    #[test]
+    fn simulated_execution_matches_trace(trace in trace_strategy(), far in any::<bool>()) {
+        let coord = if far { Coord::from_row_col(3, 3) } else { Coord::from_row_col(0, 1) };
+        let platform = PlatformConfig::small_4x4(NocConfig::waw_wap());
+        let mut system = ManycoreSystem::new(platform, vec![(coord, trace.clone())]).unwrap();
+        prop_assert!(system.run_until_finished(2_000_000));
+        let (_, stats) = system.core_stats()[0];
+        prop_assert_eq!(u64::from(stats.loads), trace.access_count(AccessKind::Load));
+        prop_assert_eq!(u64::from(stats.evictions), trace.access_count(AccessKind::Eviction));
+        prop_assert!(system.execution_time() >= trace.total_compute_cycles());
+        prop_assert_eq!(stats.compute_cycles, trace.total_compute_cycles());
+    }
+
+    /// The analytical WCET estimate always dominates the execution time
+    /// observed on the simulated platform when the core runs alone (no
+    /// co-runner interference at all, so the worst-case bound must cover it).
+    #[test]
+    fn wcet_estimate_dominates_isolated_execution(trace in trace_strategy()) {
+        let coord = Coord::from_row_col(3, 3);
+        for config in [NocConfig::regular(4), NocConfig::waw_wap()] {
+            let platform = PlatformConfig::small_4x4(config);
+            let mut system = ManycoreSystem::new(platform, vec![(coord, trace.clone())]).unwrap();
+            prop_assert!(system.run_until_finished(5_000_000));
+            let observed = system.execution_time();
+            let estimator = WcetEstimator::new(
+                platform.mesh_side,
+                platform.memory,
+                platform.memory_service_cycles,
+                config,
+            )
+            .unwrap();
+            let wcet = estimator.core_wcet(coord, &trace).unwrap();
+            prop_assert!(
+                wcet >= observed,
+                "{}: WCET {wcet} below observed isolated execution {observed}",
+                config.label()
+            );
+        }
+    }
+
+    /// WCET estimates are monotone: adding events to a trace never decreases
+    /// the estimate, and moving the core farther from the memory controller
+    /// never decreases it either.
+    #[test]
+    fn wcet_is_monotone(trace in trace_strategy(), extra_compute in 1u64..1000) {
+        let estimator =
+            WcetEstimator::new(8, Coord::from_row_col(0, 0), 30, NocConfig::waw_wap()).unwrap();
+        let near = Coord::from_row_col(1, 1);
+        let far = Coord::from_row_col(7, 7);
+        let base = estimator.core_wcet(near, &trace).unwrap();
+
+        // Longer trace => larger WCET.
+        let mut longer = trace.clone();
+        longer.push(TraceEvent::load_after(extra_compute));
+        prop_assert!(estimator.core_wcet(near, &longer).unwrap() > base);
+
+        // Farther core => no smaller WCET (equal only for access-free traces).
+        let far_wcet = estimator.core_wcet(far, &trace).unwrap();
+        prop_assert!(far_wcet >= base);
+        if trace.total_accesses() > 0 {
+            prop_assert!(far_wcet > base);
+        }
+    }
+
+    /// The WCET of any trace under the regular design is never smaller than
+    /// under WaW+WaP for cores in the far half of the mesh (where the paper's
+    /// improvement is unconditional).
+    #[test]
+    fn far_half_always_prefers_waw_wap(trace in trace_strategy(), row in 4u16..8, col in 4u16..8) {
+        prop_assume!(trace.total_accesses() > 0);
+        let core = Coord::from_row_col(row, col);
+        let memory = Coord::from_row_col(0, 0);
+        let regular = WcetEstimator::new(8, memory, 30, NocConfig::regular(4)).unwrap();
+        let proposed = WcetEstimator::new(8, memory, 30, NocConfig::waw_wap()).unwrap();
+        let reg = regular.core_wcet(core, &trace).unwrap();
+        let prop_ = proposed.core_wcet(core, &trace).unwrap();
+        prop_assert!(prop_ < reg, "core {core}: {prop_} !< {reg}");
+    }
+}

@@ -1,0 +1,150 @@
+//! Bounded flit FIFOs used as router input buffers.
+
+use std::collections::VecDeque;
+
+use wnoc_core::Flit;
+
+/// A bounded FIFO of flits (one router input buffer).
+///
+/// Capacity is enforced by the credit-based flow control of the upstream
+/// router, but the buffer itself also refuses to overflow so that a flow
+/// control bug surfaces as an explicit error instead of silent flit loss.
+#[derive(Debug, Clone)]
+pub struct FlitBuffer {
+    flits: VecDeque<Flit>,
+    capacity: usize,
+}
+
+impl FlitBuffer {
+    /// Creates a buffer holding at most `capacity` flits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero (a zero-depth buffer cannot carry traffic).
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "input buffers must hold at least one flit");
+        Self {
+            flits: VecDeque::with_capacity(capacity),
+            capacity,
+        }
+    }
+
+    /// Maximum number of flits the buffer can hold.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current number of buffered flits.
+    pub fn len(&self) -> usize {
+        self.flits.len()
+    }
+
+    /// Returns `true` if no flits are buffered.
+    pub fn is_empty(&self) -> bool {
+        self.flits.is_empty()
+    }
+
+    /// Returns `true` if the buffer cannot accept another flit.
+    pub fn is_full(&self) -> bool {
+        self.flits.len() >= self.capacity
+    }
+
+    /// Free slots remaining.
+    pub fn free_slots(&self) -> usize {
+        self.capacity - self.flits.len()
+    }
+
+    /// The flit at the head of the FIFO, if any.
+    pub fn front(&self) -> Option<&Flit> {
+        self.flits.front()
+    }
+
+    /// Appends a flit.
+    ///
+    /// Returns `Err(flit)` if the buffer is full (flow-control violation).
+    pub fn push(&mut self, flit: Flit) -> Result<(), Flit> {
+        if self.is_full() {
+            return Err(flit);
+        }
+        self.flits.push_back(flit);
+        Ok(())
+    }
+
+    /// Removes and returns the head flit.
+    pub fn pop(&mut self) -> Option<Flit> {
+        self.flits.pop_front()
+    }
+
+    /// Iterates over buffered flits from head to tail.
+    pub fn iter(&self) -> impl Iterator<Item = &Flit> {
+        self.flits.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wnoc_core::{FlitKind, FlowId, MessageId, NodeId, PacketId};
+
+    fn flit(seq: u32) -> Flit {
+        Flit {
+            packet: PacketId(1),
+            message: MessageId(1),
+            flow: FlowId(0),
+            src: NodeId(0),
+            dst: NodeId(1),
+            kind: FlitKind::Body,
+            seq,
+            msg_created: 0,
+            injected: 0,
+        }
+    }
+
+    #[test]
+    fn fifo_order_preserved() {
+        let mut buf = FlitBuffer::new(4);
+        for i in 0..4 {
+            buf.push(flit(i)).unwrap();
+        }
+        for i in 0..4 {
+            assert_eq!(buf.pop().unwrap().seq, i);
+        }
+        assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn capacity_enforced() {
+        let mut buf = FlitBuffer::new(2);
+        assert!(buf.push(flit(0)).is_ok());
+        assert!(buf.push(flit(1)).is_ok());
+        assert!(buf.is_full());
+        assert_eq!(buf.free_slots(), 0);
+        assert!(buf.push(flit(2)).is_err());
+        buf.pop();
+        assert!(buf.push(flit(2)).is_ok());
+    }
+
+    #[test]
+    fn front_peeks_without_removing() {
+        let mut buf = FlitBuffer::new(2);
+        buf.push(flit(7)).unwrap();
+        assert_eq!(buf.front().unwrap().seq, 7);
+        assert_eq!(buf.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one flit")]
+    fn zero_capacity_panics() {
+        let _ = FlitBuffer::new(0);
+    }
+
+    #[test]
+    fn iter_matches_order() {
+        let mut buf = FlitBuffer::new(3);
+        for i in 0..3 {
+            buf.push(flit(i)).unwrap();
+        }
+        let seqs: Vec<u32> = buf.iter().map(|f| f.seq).collect();
+        assert_eq!(seqs, vec![0, 1, 2]);
+    }
+}

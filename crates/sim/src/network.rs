@@ -1,0 +1,516 @@
+//! The complete NoC: routers, links, NICs and end-to-end message tracking.
+
+use std::collections::HashMap;
+
+use wnoc_core::flow::FlowSet;
+use wnoc_core::packetization::Packetizer;
+use wnoc_core::weights::WeightTable;
+use wnoc_core::{
+    Coord, Cycle, Direction, Error, Flit, FlowId, Mesh, MessageId, NocConfig, NodeId, Port, Result,
+};
+
+use crate::nic::Nic;
+use crate::router::Router;
+use crate::link::SimLink;
+use crate::stats::NetworkStats;
+
+/// Progress of one message through the network.
+#[derive(Debug, Clone, Copy)]
+struct MessageProgress {
+    flow: FlowId,
+    dst: NodeId,
+    created: Cycle,
+    first_injection: Option<Cycle>,
+    expected_flits: u32,
+    received_flits: u32,
+}
+
+/// A message that has been completely delivered to its destination NIC.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Delivered {
+    /// Message id (unique per source NIC).
+    pub message: MessageId,
+    /// Source node.
+    pub src: NodeId,
+    /// Destination node.
+    pub dst: NodeId,
+    /// Flow the message belonged to.
+    pub flow: FlowId,
+    /// Cycle the message was offered to the source NIC.
+    pub created: Cycle,
+    /// Cycle its last flit was ejected at the destination.
+    pub delivered: Cycle,
+}
+
+/// A cycle-accurate wormhole mesh NoC.
+///
+/// The network is driven externally: callers offer messages with
+/// [`Network::offer`] and advance time with [`Network::step`]; statistics are
+/// available at any point through [`Network::stats`].
+///
+/// # Examples
+///
+/// ```
+/// use wnoc_core::{Coord, NocConfig, Mesh};
+/// use wnoc_core::flow::FlowSet;
+/// use wnoc_sim::network::Network;
+///
+/// let mesh = Mesh::square(4)?;
+/// let flows = FlowSet::all_to_one(&mesh, Coord::from_row_col(0, 0))?;
+/// let mut noc = Network::new(&mesh, NocConfig::waw_wap(), &flows)?;
+/// let src = mesh.node_id(Coord::from_row_col(3, 3))?;
+/// let dst = mesh.node_id(Coord::from_row_col(0, 0))?;
+/// noc.offer(src, dst, 4)?;
+/// noc.run_until_drained(10_000);
+/// assert_eq!(noc.stats().messages_delivered, 1);
+/// # Ok::<(), wnoc_core::Error>(())
+/// ```
+#[derive(Debug)]
+pub struct Network {
+    mesh: Mesh,
+    config: NocConfig,
+    routers: Vec<Router>,
+    nics: Vec<Nic>,
+    /// Outgoing link of each (router, direction) pair.
+    links: HashMap<(Coord, Direction), SimLink>,
+    /// Flow id lookup for (src, dst) pairs, extended on demand.
+    flow_ids: HashMap<(NodeId, NodeId), FlowId>,
+    next_flow: usize,
+    tracker: HashMap<(NodeId, MessageId), MessageProgress>,
+    delivered: Vec<Delivered>,
+    stats: NetworkStats,
+    cycle: Cycle,
+}
+
+impl Network {
+    /// Builds a network over `mesh` with the given design configuration.
+    ///
+    /// `flows` describes the platform's communication flows; it is used to
+    /// derive the WaW arbitration weights (and pre-registers flow ids for
+    /// statistics).  Under round-robin arbitration the weights are ignored but
+    /// the flow ids are still registered.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidConfig`] if the configuration is invalid.
+    pub fn new(mesh: &Mesh, config: NocConfig, flows: &FlowSet) -> Result<Self> {
+        config.validate()?;
+        let weights = WeightTable::from_flow_set(flows);
+        let mut routers = Vec::with_capacity(mesh.router_count());
+        let mut nics = Vec::with_capacity(mesh.router_count());
+        for coord in mesh.routers() {
+            routers.push(Router::new(
+                coord,
+                mesh,
+                config.arbitration,
+                &weights,
+                config.input_buffer_flits,
+                config.input_buffer_flits,
+            ));
+            let node = mesh.node_id(coord)?;
+            nics.push(Nic::new(
+                node,
+                Packetizer::new(config.packetization, config.geometry)?,
+            ));
+        }
+        let mut links = HashMap::new();
+        for link in mesh.links() {
+            links.insert(
+                (link.from, link.direction),
+                SimLink::new(config.timing.link_cycles),
+            );
+        }
+        let mut flow_ids = HashMap::new();
+        for (id, flow) in flows.iter() {
+            flow_ids.insert((flow.src, flow.dst), id);
+        }
+        let next_flow = flows.len();
+        Ok(Self {
+            mesh: mesh.clone(),
+            config,
+            routers,
+            nics,
+            links,
+            flow_ids,
+            next_flow,
+            tracker: HashMap::new(),
+            delivered: Vec::new(),
+            stats: NetworkStats::new(),
+            cycle: 0,
+        })
+    }
+
+    /// Drains and returns the messages delivered since the last call.
+    pub fn take_delivered(&mut self) -> Vec<Delivered> {
+        std::mem::take(&mut self.delivered)
+    }
+
+    /// The mesh topology.
+    pub fn mesh(&self) -> &Mesh {
+        &self.mesh
+    }
+
+    /// The design configuration.
+    pub fn config(&self) -> &NocConfig {
+        &self.config
+    }
+
+    /// Current simulation cycle.
+    pub fn cycle(&self) -> Cycle {
+        self.cycle
+    }
+
+    /// Collected statistics.
+    pub fn stats(&self) -> &NetworkStats {
+        &self.stats
+    }
+
+    /// The flow id used for messages from `src` to `dst`, registering a new one
+    /// if this pair was not part of the construction flow set.
+    pub fn flow_id(&mut self, src: NodeId, dst: NodeId) -> FlowId {
+        if let Some(&id) = self.flow_ids.get(&(src, dst)) {
+            return id;
+        }
+        let id = FlowId(self.next_flow);
+        self.next_flow += 1;
+        self.flow_ids.insert((src, dst), id);
+        id
+    }
+
+    /// Number of flits queued at the NIC of `node` and not yet injected.
+    pub fn nic_backlog(&self, node: NodeId) -> usize {
+        self.nics[node.index()].pending_flits()
+    }
+
+    /// Offers a message of `size_flits` flits (regular-packetization size) from
+    /// `src` to `dst`.  Returns the message id assigned by the source NIC.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::SelfFlow`] if `src == dst`, or an out-of-bounds error if
+    /// either node does not exist.
+    pub fn offer(&mut self, src: NodeId, dst: NodeId, size_flits: u32) -> Result<MessageId> {
+        if src == dst {
+            return Err(Error::SelfFlow { node: src });
+        }
+        self.mesh.coord_of(src)?;
+        self.mesh.coord_of(dst)?;
+        if size_flits == 0 {
+            return Err(Error::EmptyMessage);
+        }
+        let flow = self.flow_id(src, dst);
+        let now = self.cycle;
+        let offered = self.nics[src.index()].offer(dst, flow, size_flits, now);
+        self.stats.messages_offered += 1;
+        self.tracker.insert(
+            (src, offered.id),
+            MessageProgress {
+                flow,
+                dst,
+                created: now,
+                first_injection: None,
+                expected_flits: offered.wire_flits,
+                received_flits: 0,
+            },
+        );
+        Ok(offered.id)
+    }
+
+    /// Advances the network by one cycle.
+    pub fn step(&mut self) {
+        self.cycle += 1;
+        let now = self.cycle;
+
+        // Phase 1: routers take their forwarding decisions and the network
+        // applies them (link pushes, ejections, credit returns).
+        let mut ejected: Vec<Flit> = Vec::new();
+        for index in 0..self.routers.len() {
+            let coord = self.routers[index].coord();
+            let forwards = self.routers[index].decide();
+            for fwd in forwards {
+                self.stats.record_port_flit(coord, fwd.output);
+                // Return a credit to the upstream router that fed this input.
+                if let Port::Mesh(dir) = fwd.input {
+                    if let Some(upstream) = self.mesh.neighbor(coord, dir) {
+                        let upstream_index = self
+                            .mesh
+                            .node_id(upstream)
+                            .expect("neighbour inside mesh")
+                            .index();
+                        self.routers[upstream_index].credit_return(Port::Mesh(dir.opposite()));
+                    }
+                }
+                match fwd.output {
+                    Port::Local => ejected.push(fwd.flit),
+                    Port::Mesh(dir) => {
+                        let link = self
+                            .links
+                            .get_mut(&(coord, dir))
+                            .expect("output port implies link");
+                        link.push(fwd.flit).expect("one forward per output per cycle");
+                    }
+                }
+            }
+        }
+
+        // Phase 2: links advance; arriving flits enter the downstream buffers.
+        for ((from, dir), link) in &mut self.links {
+            if let Some(flit) = link.advance() {
+                let to = self
+                    .mesh
+                    .neighbor(*from, *dir)
+                    .expect("links connect adjacent routers");
+                let to_index = self.mesh.node_id(to).expect("inside mesh").index();
+                let input = Port::Mesh(dir.opposite());
+                self.routers[to_index]
+                    .accept(input, flit)
+                    .expect("credit flow control guarantees buffer space");
+            }
+        }
+
+        // Phase 3: NIC injection into the local input buffers.
+        for index in 0..self.nics.len() {
+            let coord = self.routers[index].coord();
+            debug_assert_eq!(self.mesh.node_id(coord).unwrap().index(), index);
+            while self.routers[index].free_slots(Port::Local) > 0 {
+                let Some(peek_src) = self.nics[index].peek().map(|f| f.src) else {
+                    break;
+                };
+                let flit = self.nics[index].inject(now).expect("peeked flit exists");
+                if let Some(progress) = self.tracker.get_mut(&(peek_src, flit.message)) {
+                    if progress.first_injection.is_none() {
+                        progress.first_injection = Some(now);
+                    }
+                }
+                self.stats.flits_injected += 1;
+                if flit.kind.is_head() {
+                    self.stats.packets_injected += 1;
+                }
+                self.routers[index]
+                    .accept(Port::Local, flit)
+                    .expect("free slot checked above");
+            }
+        }
+
+        // Phase 4: ejections complete messages.
+        for flit in ejected {
+            self.stats.flits_delivered += 1;
+            if flit.kind.is_tail() {
+                self.stats.packets_delivered += 1;
+            }
+            let key = (flit.src, flit.message);
+            let finished = if let Some(progress) = self.tracker.get_mut(&key) {
+                progress.received_flits += 1;
+                progress.received_flits >= progress.expected_flits
+            } else {
+                false
+            };
+            if finished {
+                let progress = self.tracker.remove(&key).expect("present above");
+                let end_to_end = now.saturating_sub(progress.created);
+                let traversal =
+                    now.saturating_sub(progress.first_injection.unwrap_or(progress.created));
+                self.stats.record_message(progress.flow, end_to_end, traversal);
+                self.delivered.push(Delivered {
+                    message: flit.message,
+                    src: flit.src,
+                    dst: progress.dst,
+                    flow: progress.flow,
+                    created: progress.created,
+                    delivered: now,
+                });
+            }
+        }
+
+        self.stats.cycles = self.cycle;
+    }
+
+    /// Returns `true` when no flit is buffered, in flight or awaiting injection
+    /// anywhere in the network.
+    pub fn is_drained(&self) -> bool {
+        self.nics.iter().all(Nic::is_drained)
+            && self.routers.iter().all(Router::is_idle)
+            && self.links.values().all(|l| l.in_flight() == 0)
+            && self.tracker.is_empty()
+    }
+
+    /// Steps until the network drains or `max_cycles` additional cycles have
+    /// elapsed; returns `true` if it drained.
+    pub fn run_until_drained(&mut self, max_cycles: u64) -> bool {
+        for _ in 0..max_cycles {
+            if self.is_drained() {
+                return true;
+            }
+            self.step();
+        }
+        self.is_drained()
+    }
+
+    /// Runs for exactly `cycles` cycles.
+    pub fn run_for(&mut self, cycles: u64) {
+        for _ in 0..cycles {
+            self.step();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn build(side: u16, config: NocConfig) -> Network {
+        let mesh = Mesh::square(side).unwrap();
+        let flows = FlowSet::all_to_one(&mesh, Coord::from_row_col(0, 0)).unwrap();
+        Network::new(&mesh, config, &flows).unwrap()
+    }
+
+    fn node(network: &Network, row: u16, col: u16) -> NodeId {
+        network.mesh().node_id(Coord::from_row_col(row, col)).unwrap()
+    }
+
+    #[test]
+    fn single_message_is_delivered() {
+        let mut noc = build(4, NocConfig::regular(4));
+        let src = node(&noc, 3, 3);
+        let dst = node(&noc, 0, 0);
+        noc.offer(src, dst, 4).unwrap();
+        assert!(noc.run_until_drained(1_000));
+        assert_eq!(noc.stats().messages_delivered, 1);
+        assert_eq!(noc.stats().flits_delivered, 4);
+        assert_eq!(noc.stats().packets_delivered, 1);
+    }
+
+    #[test]
+    fn wap_message_is_delivered_with_overhead() {
+        let mut noc = build(4, NocConfig::waw_wap());
+        let src = node(&noc, 3, 3);
+        let dst = node(&noc, 0, 0);
+        noc.offer(src, dst, 4).unwrap();
+        assert!(noc.run_until_drained(1_000));
+        assert_eq!(noc.stats().messages_delivered, 1);
+        // The 4-flit message became 5 single-flit packets.
+        assert_eq!(noc.stats().flits_delivered, 5);
+        assert_eq!(noc.stats().packets_delivered, 5);
+    }
+
+    #[test]
+    fn zero_load_latency_matches_hop_count() {
+        // A single message in an empty network: traversal latency is the number
+        // of routers plus link hops plus serialisation.
+        let mut noc = build(4, NocConfig::regular(4));
+        let src = node(&noc, 0, 3);
+        let dst = node(&noc, 0, 0);
+        noc.offer(src, dst, 1).unwrap();
+        assert!(noc.run_until_drained(100));
+        let flow = noc.flow_id(src, dst);
+        let latency = noc.stats().flow_traversal_latency(flow).unwrap().max;
+        // 3 hops with a single-cycle router and single-cycle links: the flit
+        // advances one hop per cycle and is then ejected.
+        assert!(latency >= 3 && latency <= 10, "latency {latency}");
+    }
+
+    #[test]
+    fn flit_conservation_under_random_offers() {
+        let mut noc = build(4, NocConfig::regular(4));
+        let dst = node(&noc, 0, 0);
+        let mut offered_flits = 0;
+        for row in 0..4u16 {
+            for col in 0..4u16 {
+                if row == 0 && col == 0 {
+                    continue;
+                }
+                let src = node(&noc, row, col);
+                noc.offer(src, dst, 4).unwrap();
+                offered_flits += 4;
+            }
+        }
+        assert!(noc.run_until_drained(10_000));
+        assert_eq!(noc.stats().flits_delivered, offered_flits);
+        assert_eq!(noc.stats().messages_delivered, 15);
+        assert_eq!(noc.stats().messages_offered, 15);
+    }
+
+    #[test]
+    fn self_messages_and_bad_sizes_rejected() {
+        let mut noc = build(2, NocConfig::regular(4));
+        let a = node(&noc, 0, 0);
+        let b = node(&noc, 1, 1);
+        assert!(noc.offer(a, a, 1).is_err());
+        assert!(noc.offer(a, b, 0).is_err());
+        assert!(noc.offer(a, b, 1).is_ok());
+    }
+
+    #[test]
+    fn contention_increases_latency() {
+        // One message alone vs the same message while every node hammers the
+        // destination: the contended latency must be strictly larger.
+        let solo_latency = {
+            let mut noc = build(4, NocConfig::regular(4));
+            let src = node(&noc, 3, 3);
+            let dst = node(&noc, 0, 0);
+            noc.offer(src, dst, 4).unwrap();
+            noc.run_until_drained(10_000);
+            let flow = noc.flow_id(src, dst);
+            noc.stats().flow_traversal_latency(flow).unwrap().max
+        };
+        let contended_latency = {
+            let mut noc = build(4, NocConfig::regular(4));
+            let dst = node(&noc, 0, 0);
+            for row in 0..4u16 {
+                for col in 0..4u16 {
+                    if row == 0 && col == 0 {
+                        continue;
+                    }
+                    for _ in 0..4 {
+                        noc.offer(node(&noc, row, col), dst, 4).unwrap();
+                    }
+                }
+            }
+            noc.run_until_drained(100_000);
+            let src = node(&noc, 3, 3);
+            let flow = noc.flow_id(src, dst);
+            noc.stats().flow_traversal_latency(flow).unwrap().max
+        };
+        assert!(
+            contended_latency > solo_latency,
+            "contended {contended_latency} vs solo {solo_latency}"
+        );
+    }
+
+    #[test]
+    fn stats_track_port_utilisation() {
+        let mut noc = build(4, NocConfig::regular(4));
+        let src = node(&noc, 0, 3);
+        let dst = node(&noc, 0, 0);
+        noc.offer(src, dst, 4).unwrap();
+        noc.run_until_drained(1_000);
+        // Every link along the row carried the 4 flits.
+        let flits = noc
+            .stats()
+            .port_flits
+            .get(&(Coord::from_row_col(0, 2), Port::Mesh(Direction::West)))
+            .copied()
+            .unwrap_or(0);
+        assert_eq!(flits, 4);
+        // The ejection port of the destination also saw them.
+        let ejected = noc
+            .stats()
+            .port_flits
+            .get(&(Coord::from_row_col(0, 0), Port::Local))
+            .copied()
+            .unwrap_or(0);
+        assert_eq!(ejected, 4);
+    }
+
+    #[test]
+    fn drained_network_reports_idle() {
+        let mut noc = build(3, NocConfig::waw_wap());
+        assert!(noc.is_drained());
+        let src = node(&noc, 2, 2);
+        let dst = node(&noc, 0, 0);
+        noc.offer(src, dst, 4).unwrap();
+        assert!(!noc.is_drained());
+        assert!(noc.run_until_drained(1_000));
+        assert!(noc.is_drained());
+    }
+}

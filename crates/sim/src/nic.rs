@@ -1,0 +1,233 @@
+//! Network interface controller (NIC): packetizes node messages and injects
+//! their flits into the local port of the attached router.
+//!
+//! This is where WaP lives in hardware: the same NIC logic produces either one
+//! packet per message (regular packetization) or a train of single-flit
+//! packets with replicated control information (WaP), depending on the
+//! configured [`PacketizationPolicy`](wnoc_core::PacketizationPolicy).
+
+use std::collections::VecDeque;
+
+use wnoc_core::packetization::MessageDescriptor;
+use wnoc_core::{Cycle, Flit, FlowId, MessageId, NodeId, Packetizer};
+
+/// Metadata the network needs to track a message end to end.
+#[derive(Debug, Clone, Copy)]
+pub struct OfferedMessage {
+    /// The message id assigned by the NIC.
+    pub id: MessageId,
+    /// Flow this message belongs to.
+    pub flow: FlowId,
+    /// Source node.
+    pub src: NodeId,
+    /// Destination node.
+    pub dst: NodeId,
+    /// Cycle the message was handed to the NIC.
+    pub created: Cycle,
+    /// Number of packets the message was sliced into.
+    pub packets: u32,
+    /// Total number of flits on the wire.
+    pub wire_flits: u32,
+}
+
+/// The per-node network interface.
+#[derive(Debug)]
+pub struct Nic {
+    node: NodeId,
+    packetizer: Packetizer,
+    next_message: u64,
+    /// Flits awaiting injection, in order.
+    pending: VecDeque<Flit>,
+    /// Number of messages whose flits have not yet all been injected.
+    pending_messages: VecDeque<(MessageId, u32)>,
+    flits_injected: u64,
+    messages_offered: u64,
+}
+
+impl Nic {
+    /// Creates the NIC of `node` with the given packetizer.
+    pub fn new(node: NodeId, packetizer: Packetizer) -> Self {
+        Self {
+            node,
+            packetizer,
+            next_message: 0,
+            pending: VecDeque::new(),
+            pending_messages: VecDeque::new(),
+            flits_injected: 0,
+            messages_offered: 0,
+        }
+    }
+
+    /// The node this NIC belongs to.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// Number of flits waiting to be injected.
+    pub fn pending_flits(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Number of messages with at least one flit still waiting for injection.
+    pub fn pending_messages(&self) -> usize {
+        self.pending_messages.len()
+    }
+
+    /// Total messages offered to this NIC so far.
+    pub fn messages_offered(&self) -> u64 {
+        self.messages_offered
+    }
+
+    /// Total flits injected into the router so far.
+    pub fn flits_injected(&self) -> u64 {
+        self.flits_injected
+    }
+
+    /// Returns `true` if the NIC has nothing left to inject.
+    pub fn is_drained(&self) -> bool {
+        self.pending.is_empty()
+    }
+
+    /// Accepts a message for transmission: packetizes it according to the
+    /// configured policy and queues its flits for injection.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size_flits` is zero (callers validate message sizes).
+    pub fn offer(
+        &mut self,
+        dst: NodeId,
+        flow: FlowId,
+        size_flits: u32,
+        now: Cycle,
+    ) -> OfferedMessage {
+        assert!(size_flits > 0, "messages must contain at least one flit");
+        let id = MessageId(self.next_message);
+        self.next_message += 1;
+        self.messages_offered += 1;
+        let descriptor = MessageDescriptor {
+            id,
+            flow,
+            src: self.node,
+            dst,
+            regular_flits: size_flits,
+            created: now,
+        };
+        let packets = self
+            .packetizer
+            .packetize(&descriptor)
+            .expect("non-empty message");
+        let packet_count = packets.len() as u32;
+        let mut wire_flits = 0;
+        for packet in &packets {
+            wire_flits += packet.length_flits;
+            for flit in packet.to_flits() {
+                self.pending.push_back(flit);
+            }
+        }
+        self.pending_messages.push_back((id, wire_flits));
+        OfferedMessage {
+            id,
+            flow,
+            src: self.node,
+            dst,
+            created: now,
+            packets: packet_count,
+            wire_flits,
+        }
+    }
+
+    /// The next flit awaiting injection, if any.
+    pub fn peek(&self) -> Option<&Flit> {
+        self.pending.front()
+    }
+
+    /// Removes and returns the next flit to inject, stamping it with the
+    /// injection cycle.
+    pub fn inject(&mut self, now: Cycle) -> Option<Flit> {
+        let mut flit = self.pending.pop_front()?;
+        flit.injected = now;
+        self.flits_injected += 1;
+        if let Some(front) = self.pending_messages.front_mut() {
+            front.1 -= 1;
+            if front.1 == 0 {
+                self.pending_messages.pop_front();
+            }
+        }
+        Some(flit)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wnoc_core::packetization::{PacketizationPolicy, PhitGeometry};
+    use wnoc_core::FlitKind;
+
+    fn nic(policy: PacketizationPolicy) -> Nic {
+        Nic::new(
+            NodeId(3),
+            Packetizer::new(policy, PhitGeometry::PAPER).unwrap(),
+        )
+    }
+
+    #[test]
+    fn regular_nic_queues_one_packet_per_message() {
+        let mut n = nic(PacketizationPolicy::regular_l4());
+        let offered = n.offer(NodeId(0), FlowId(1), 4, 100);
+        assert_eq!(offered.packets, 1);
+        assert_eq!(offered.wire_flits, 4);
+        assert_eq!(n.pending_flits(), 4);
+        assert_eq!(n.pending_messages(), 1);
+    }
+
+    #[test]
+    fn wap_nic_slices_and_replicates_headers() {
+        let mut n = nic(PacketizationPolicy::wap());
+        let offered = n.offer(NodeId(0), FlowId(1), 4, 100);
+        assert_eq!(offered.packets, 5);
+        assert_eq!(offered.wire_flits, 5);
+        assert_eq!(n.pending_flits(), 5);
+        // Every queued flit is a complete single-flit packet.
+        while let Some(f) = n.inject(101) {
+            assert_eq!(f.kind, FlitKind::HeadTail);
+            assert_eq!(f.injected, 101);
+            assert_eq!(f.msg_created, 100);
+        }
+        assert!(n.is_drained());
+        assert_eq!(n.flits_injected(), 5);
+    }
+
+    #[test]
+    fn injection_preserves_message_order() {
+        let mut n = nic(PacketizationPolicy::regular_l4());
+        n.offer(NodeId(0), FlowId(0), 2, 0);
+        n.offer(NodeId(1), FlowId(1), 2, 0);
+        let first: Vec<_> = (0..2).map(|_| n.inject(1).unwrap()).collect();
+        let second: Vec<_> = (0..2).map(|_| n.inject(2).unwrap()).collect();
+        assert!(first.iter().all(|f| f.dst == NodeId(0)));
+        assert!(second.iter().all(|f| f.dst == NodeId(1)));
+        assert_eq!(n.pending_messages(), 0);
+    }
+
+    #[test]
+    fn pending_message_count_tracks_partial_injection() {
+        let mut n = nic(PacketizationPolicy::regular_l4());
+        n.offer(NodeId(0), FlowId(0), 4, 0);
+        assert_eq!(n.pending_messages(), 1);
+        n.inject(1);
+        n.inject(2);
+        assert_eq!(n.pending_messages(), 1);
+        n.inject(3);
+        n.inject(4);
+        assert_eq!(n.pending_messages(), 0);
+        assert_eq!(n.messages_offered(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one flit")]
+    fn zero_size_message_panics() {
+        let mut n = nic(PacketizationPolicy::wap());
+        n.offer(NodeId(0), FlowId(0), 0, 0);
+    }
+}

@@ -1,0 +1,232 @@
+//! Simulation statistics: per-flow latency distributions, throughput and link
+//! utilisation.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use wnoc_core::{Coord, Cycle, FlowId, Port};
+
+/// Running summary of a latency distribution (count, sum, min, max).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LatencyStats {
+    /// Number of recorded samples.
+    pub count: u64,
+    /// Sum of all samples (for the mean).
+    pub sum: u64,
+    /// Smallest sample, `u64::MAX` when empty.
+    pub min: u64,
+    /// Largest sample.
+    pub max: u64,
+}
+
+impl LatencyStats {
+    /// Creates an empty summary.
+    pub fn new() -> Self {
+        Self {
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Records one latency sample.
+    pub fn record(&mut self, latency: u64) {
+        self.count += 1;
+        self.sum = self.sum.saturating_add(latency);
+        self.min = self.min.min(latency);
+        self.max = self.max.max(latency);
+    }
+
+    /// Mean latency, or 0.0 when no samples were recorded.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Returns `true` if no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Merges another summary into this one.
+    pub fn merge(&mut self, other: &LatencyStats) {
+        if other.count == 0 {
+            return;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// Aggregated statistics of one simulation run.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct NetworkStats {
+    /// Number of simulated cycles.
+    pub cycles: Cycle,
+    /// Messages handed to source NICs.
+    pub messages_offered: u64,
+    /// Messages fully delivered to their destination NIC.
+    pub messages_delivered: u64,
+    /// Packets injected into the router network.
+    pub packets_injected: u64,
+    /// Packets fully received at their destination.
+    pub packets_delivered: u64,
+    /// Flits injected into the router network.
+    pub flits_injected: u64,
+    /// Flits delivered (ejected) at destinations.
+    pub flits_delivered: u64,
+    /// End-to-end message latency (creation to last flit delivery) per flow.
+    pub message_latency: HashMap<FlowId, LatencyStats>,
+    /// Network traversal latency (injection of first flit to delivery of last
+    /// flit) per flow.
+    pub traversal_latency: HashMap<FlowId, LatencyStats>,
+    /// Flits forwarded per (router, output port), for utilisation reports.
+    pub port_flits: HashMap<(Coord, Port), u64>,
+}
+
+impl NetworkStats {
+    /// Creates empty statistics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a delivered message's end-to-end and traversal latencies.
+    pub fn record_message(&mut self, flow: FlowId, end_to_end: u64, traversal: u64) {
+        self.messages_delivered += 1;
+        self.message_latency
+            .entry(flow)
+            .or_insert_with(LatencyStats::new)
+            .record(end_to_end);
+        self.traversal_latency
+            .entry(flow)
+            .or_insert_with(LatencyStats::new)
+            .record(traversal);
+    }
+
+    /// Records one flit forwarded through `(router, output)`.
+    pub fn record_port_flit(&mut self, router: Coord, output: Port) {
+        *self.port_flits.entry((router, output)).or_insert(0) += 1;
+    }
+
+    /// Aggregate message-latency summary across all flows.
+    pub fn overall_message_latency(&self) -> LatencyStats {
+        let mut all = LatencyStats::new();
+        for stats in self.message_latency.values() {
+            all.merge(stats);
+        }
+        all
+    }
+
+    /// Aggregate traversal-latency summary across all flows.
+    pub fn overall_traversal_latency(&self) -> LatencyStats {
+        let mut all = LatencyStats::new();
+        for stats in self.traversal_latency.values() {
+            all.merge(stats);
+        }
+        all
+    }
+
+    /// Message latency summary of one flow, if any message of it was delivered.
+    pub fn flow_message_latency(&self, flow: FlowId) -> Option<&LatencyStats> {
+        self.message_latency.get(&flow)
+    }
+
+    /// Traversal latency summary of one flow.
+    pub fn flow_traversal_latency(&self, flow: FlowId) -> Option<&LatencyStats> {
+        self.traversal_latency.get(&flow)
+    }
+
+    /// Utilisation of `(router, output)` as flits per cycle over the run.
+    pub fn port_utilisation(&self, router: Coord, output: Port) -> f64 {
+        if self.cycles == 0 {
+            return 0.0;
+        }
+        let flits = self.port_flits.get(&(router, output)).copied().unwrap_or(0);
+        flits as f64 / self.cycles as f64
+    }
+
+    /// Accepted throughput in flits per cycle.
+    pub fn delivered_throughput(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.flits_delivered as f64 / self.cycles as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_stats_basic() {
+        let mut s = LatencyStats::new();
+        assert!(s.is_empty());
+        s.record(10);
+        s.record(20);
+        s.record(5);
+        assert_eq!(s.count, 3);
+        assert_eq!(s.min, 5);
+        assert_eq!(s.max, 20);
+        assert!((s.mean() - 35.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn latency_stats_merge() {
+        let mut a = LatencyStats::new();
+        a.record(10);
+        let mut b = LatencyStats::new();
+        b.record(30);
+        b.record(2);
+        a.merge(&b);
+        assert_eq!(a.count, 3);
+        assert_eq!(a.min, 2);
+        assert_eq!(a.max, 30);
+        let empty = LatencyStats::new();
+        a.merge(&empty);
+        assert_eq!(a.count, 3);
+    }
+
+    #[test]
+    fn network_stats_records_per_flow() {
+        let mut stats = NetworkStats::new();
+        stats.record_message(FlowId(0), 100, 80);
+        stats.record_message(FlowId(0), 60, 50);
+        stats.record_message(FlowId(1), 10, 8);
+        assert_eq!(stats.messages_delivered, 3);
+        assert_eq!(stats.flow_message_latency(FlowId(0)).unwrap().max, 100);
+        assert_eq!(stats.flow_traversal_latency(FlowId(1)).unwrap().max, 8);
+        let overall = stats.overall_message_latency();
+        assert_eq!(overall.count, 3);
+        assert_eq!(overall.min, 10);
+    }
+
+    #[test]
+    fn utilisation_and_throughput() {
+        let mut stats = NetworkStats::new();
+        stats.cycles = 100;
+        stats.flits_delivered = 50;
+        for _ in 0..25 {
+            stats.record_port_flit(Coord::new(0, 0), Port::Local);
+        }
+        assert!((stats.port_utilisation(Coord::new(0, 0), Port::Local) - 0.25).abs() < 1e-9);
+        assert!((stats.delivered_throughput() - 0.5).abs() < 1e-9);
+        assert_eq!(stats.port_utilisation(Coord::new(1, 1), Port::Local), 0.0);
+    }
+
+    #[test]
+    fn mean_of_empty_is_zero() {
+        let s = LatencyStats::new();
+        assert_eq!(s.mean(), 0.0);
+        let n = NetworkStats::new();
+        assert_eq!(n.delivered_throughput(), 0.0);
+    }
+}

@@ -1,0 +1,34 @@
+//! # wnoc-workloads
+//!
+//! The workloads used by the paper's evaluation, rebuilt as open substitutes:
+//!
+//! * [`eembc`] — synthetic stand-ins for the sixteen EEMBC Automotive
+//!   (autobench) benchmarks, calibrated per benchmark in terms of memory-access
+//!   count, spacing, burstiness and eviction ratio (used for the per-core WCET
+//!   experiment of Table III);
+//! * [`avionics`] — a 16-thread parallel 3D path planner (3DPP) equivalent to
+//!   the Honeywell avionics application: wavefront expansion over a 3D obstacle
+//!   grid, with per-phase memory traces derived from the planner's actual work
+//!   (used for the Figure 2 experiments);
+//! * [`placement`] — the four thread placements P0–P3 of Figure 2(b).
+//!
+//! # Example
+//!
+//! ```
+//! use wnoc_workloads::eembc::EembcBenchmark;
+//!
+//! let trace = EembcBenchmark::Matrix.trace(42);
+//! assert!(trace.total_accesses() > 100);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod avionics;
+pub mod eembc;
+pub mod placement;
+
+pub use avionics::{default_scenario, ObstacleGrid, PathPlanner, PlanOutcome, TrafficModel};
+pub use eembc::{suite_traces, BenchmarkProfile, EembcBenchmark};
+pub use placement::Placement;

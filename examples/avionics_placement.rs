@@ -1,0 +1,51 @@
+//! The 3DPP avionics application: plan a path through a 3D obstacle grid, then
+//! estimate the 16-core application WCET under the four placements of
+//! Figure 2(b) for both NoC designs.
+//!
+//! Run with `cargo run --release --example avionics_placement`.
+
+use wnoc::core::{Coord, Mesh, NocConfig};
+use wnoc::manycore::wcet::{parallel_wcet, WcetEstimator};
+use wnoc::workloads::avionics::{default_scenario, TrafficModel};
+use wnoc::workloads::placement::Placement;
+
+fn main() -> Result<(), wnoc::core::Error> {
+    let planner = default_scenario(2016)?;
+    let outcome = planner.plan();
+    let path = outcome.path.as_ref().expect("scenario is solvable");
+    println!(
+        "3D path planning: grid {:?}, {} obstacles, path of {} cells, {} cells expanded over {} wavefronts",
+        planner.grid().dims(),
+        planner.grid().obstacle_count(),
+        path.len(),
+        outcome.expanded_cells,
+        outcome.wavefronts.len()
+    );
+
+    let mesh = Mesh::square(8)?;
+    let memory = Coord::from_row_col(0, 0);
+    let placements = Placement::paper_set(&mesh, memory)?;
+    let regular = WcetEstimator::new(8, memory, 30, NocConfig::regular(1))?;
+    let proposed = WcetEstimator::new(8, memory, 30, NocConfig::waw_wap())?;
+
+    println!("\nWCET estimate of the 16-thread application (L = 1):\n");
+    println!("placement | mean dist to memory | regular wNoC | WaW+WaP  | gain");
+    for placement in &placements {
+        let phases = planner.parallel_phases(placement, TrafficModel::default())?;
+        let reg = parallel_wcet(&regular, &phases)?;
+        let prop = parallel_wcet(&proposed, &phases)?;
+        println!(
+            "{:<9} | {:>19.1} | {:>12} | {:>8} | {:>5.1}x",
+            placement.name(),
+            placement.mean_distance_to(memory),
+            reg,
+            prop,
+            reg as f64 / prop.max(1) as f64
+        );
+    }
+    println!(
+        "\nWaW+WaP keeps the WCET almost independent of where the application is placed;\n\
+         the regular design degrades sharply as the threads move away from the memory controller."
+    );
+    Ok(())
+}

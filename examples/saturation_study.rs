@@ -1,0 +1,32 @@
+//! Saturation study on the cycle-accurate simulator: every node floods the
+//! memory controller with single-flit packets and we observe how fairly each
+//! design serves the flows (the unfairness of Figure 1(b) of the paper).
+//!
+//! Run with `cargo run --release --example saturation_study`.
+
+use wnoc::core::{Coord, Mesh, NocConfig};
+use wnoc::sim::Simulation;
+
+fn main() -> Result<(), wnoc::core::Error> {
+    let mesh = Mesh::square(4)?;
+    let hotspot = Coord::from_row_col(0, 0);
+    println!("Saturated all-to-R(0,0) hotspot on a 4x4 mesh, 1-flit packets\n");
+    println!("design         | worst flow max | best flow max | spread");
+    for config in [NocConfig::regular(1), NocConfig::waw_wap()] {
+        let report =
+            Simulation::saturated_hotspot(&mesh, config, hotspot, 1, 5_000, 10_000)?;
+        let spread = report.max() as f64 / report.min_of_max().max(1) as f64;
+        println!(
+            "{:<14} | {:>14} | {:>13} | {:>5.1}x",
+            config.label(),
+            report.max(),
+            report.min_of_max(),
+            spread
+        );
+    }
+    println!(
+        "\nUnder plain round robin the flows close to the memory controller are served far more\n\
+         often than distant ones (large spread); WaW's weighted arbitration equalises them."
+    );
+    Ok(())
+}
