@@ -62,5 +62,10 @@ fn bench_weight_table(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_regular_model, bench_weighted_model, bench_weight_table);
+criterion_group!(
+    benches,
+    bench_regular_model,
+    bench_weighted_model,
+    bench_weight_table
+);
 criterion_main!(benches);

@@ -43,7 +43,10 @@ fn bench_parallel_wcet(c: &mut Criterion) {
         .parallel_phases(&placements[0], TrafficModel::default())
         .unwrap();
     let mut group = c.benchmark_group("fig2/parallel_wcet");
-    for (label, config) in [("regular_l4", NocConfig::regular(4)), ("waw_wap", NocConfig::waw_wap())] {
+    for (label, config) in [
+        ("regular_l4", NocConfig::regular(4)),
+        ("waw_wap", NocConfig::waw_wap()),
+    ] {
         let estimator = WcetEstimator::new(8, memory, 30, config).unwrap();
         group.bench_function(label, |b| {
             b.iter(|| black_box(parallel_wcet(&estimator, black_box(&phases)).unwrap()))
@@ -52,5 +55,10 @@ fn bench_parallel_wcet(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_planning, bench_phase_derivation, bench_parallel_wcet);
+criterion_group!(
+    benches,
+    bench_planning,
+    bench_phase_derivation,
+    bench_parallel_wcet
+);
 criterion_main!(benches);

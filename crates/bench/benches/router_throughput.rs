@@ -15,7 +15,10 @@ fn bench_network_step(c: &mut Criterion) {
     let cycles_per_iter = 1_000u64;
     group.throughput(Throughput::Elements(cycles_per_iter));
     group.sample_size(20);
-    for (label, config) in [("regular", NocConfig::regular(4)), ("waw_wap", NocConfig::waw_wap())] {
+    for (label, config) in [
+        ("regular", NocConfig::regular(4)),
+        ("waw_wap", NocConfig::waw_wap()),
+    ] {
         group.bench_function(label, |b| {
             let mesh = Mesh::square(8).unwrap();
             let hotspot = Coord::from_row_col(0, 0);

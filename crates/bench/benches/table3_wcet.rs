@@ -12,12 +12,14 @@ use wnoc_workloads::eembc::EembcBenchmark;
 fn bench_estimator_construction(c: &mut Criterion) {
     let mut group = c.benchmark_group("table3/estimator_new");
     group.sample_size(20);
-    for (label, config) in [("regular", NocConfig::regular(4)), ("waw_wap", NocConfig::waw_wap())] {
+    for (label, config) in [
+        ("regular", NocConfig::regular(4)),
+        ("waw_wap", NocConfig::waw_wap()),
+    ] {
         group.bench_function(label, |b| {
             b.iter(|| {
-                let est =
-                    WcetEstimator::new(8, Coord::from_row_col(0, 0), 30, black_box(config))
-                        .unwrap();
+                let est = WcetEstimator::new(8, Coord::from_row_col(0, 0), 30, black_box(config))
+                    .unwrap();
                 black_box(est.mesh().router_count())
             })
         });

@@ -112,7 +112,9 @@ impl Ablation {
             "Ablation — {0}x{0} mesh, all nodes -> R(0,0), {1}-flit messages\n",
             self.side, self.message_flits
         ));
-        out.push_str("design                                  |        max |       mean |    min\n");
+        out.push_str(
+            "design                                  |        max |       mean |    min\n",
+        );
         for point in &self.points {
             out.push_str(&format!(
                 "{:<39} | {:>10} | {:>10.1} | {:>6}\n",

@@ -76,11 +76,7 @@ fn phases_for(placement: &Placement, seed: u64) -> Result<Vec<ParallelPhase>> {
     planner.parallel_phases(placement, TrafficModel::default())
 }
 
-fn app_wcet(
-    params: Fig2Params,
-    config: NocConfig,
-    phases: &[ParallelPhase],
-) -> Result<u64> {
+fn app_wcet(params: Fig2Params, config: NocConfig, phases: &[ParallelPhase]) -> Result<u64> {
     let memory = Coord::from_row_col(0, 0);
     let estimator = WcetEstimator::new(
         params.mesh_side,
@@ -141,7 +137,13 @@ impl Figure2 {
         let values: Vec<u64> = self
             .placements
             .iter()
-            .map(|p| if waw_wap { p.waw_wap_wcet } else { p.regular_wcet })
+            .map(|p| {
+                if waw_wap {
+                    p.waw_wap_wcet
+                } else {
+                    p.regular_wcet
+                }
+            })
             .collect();
         let max = values.iter().max().copied().unwrap_or(0) as f64;
         let min = values.iter().min().copied().unwrap_or(1).max(1) as f64;

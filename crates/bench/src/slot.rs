@@ -64,12 +64,15 @@ impl SlotModel {
         let measure = |config: NocConfig| -> Result<u64> {
             let flows = FlowSet::from_pairs(
                 &mesh,
-                [(0u16, 1u16), (1, 0), (1, 2), (2, 1)].iter().map(|&(r, c)| {
-                    (
-                        mesh.node_id(Coord::from_row_col(r, c)).expect("inside mesh"),
-                        mesh.node_id(hotspot).expect("inside mesh"),
-                    )
-                }),
+                [(0u16, 1u16), (1, 0), (1, 2), (2, 1)]
+                    .iter()
+                    .map(|&(r, c)| {
+                        (
+                            mesh.node_id(Coord::from_row_col(r, c))
+                                .expect("inside mesh"),
+                            mesh.node_id(hotspot).expect("inside mesh"),
+                        )
+                    }),
             )?;
             let mut sim = Simulation::new(&mesh, config, &flows)?;
             let report = sim.run_saturated(&flows, 4, 1_000, 2_000)?;

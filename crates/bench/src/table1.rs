@@ -104,7 +104,11 @@ mod tests {
         ];
         for (pair, rr, waw) in expect {
             let row = table.row(pair).unwrap_or_else(|| panic!("missing {pair}"));
-            assert!((row.round_robin - rr).abs() < 1e-9, "{pair} rr {}", row.round_robin);
+            assert!(
+                (row.round_robin - rr).abs() < 1e-9,
+                "{pair} rr {}",
+                row.round_robin
+            );
             assert!((row.waw - waw).abs() < 1e-9, "{pair} waw {}", row.waw);
         }
     }

@@ -40,15 +40,14 @@ impl Table3 {
     pub fn run(side: u16, regular_l: u32, seed: u64) -> Result<Self> {
         let memory = Coord::from_row_col(0, 0);
         let memory_latency = 30;
-        let regular = WcetEstimator::new(side, memory, memory_latency, NocConfig::regular(regular_l))?;
+        let regular =
+            WcetEstimator::new(side, memory, memory_latency, NocConfig::regular(regular_l))?;
         let proposed = WcetEstimator::new(side, memory, memory_latency, NocConfig::waw_wap())?;
         let suite = suite_traces(seed);
 
         let mut ratios = vec![vec![None; side as usize]; side as usize];
-        let mut per_benchmark: Vec<(EembcBenchmark, f64, usize)> = suite
-            .iter()
-            .map(|(b, _)| (*b, 0.0, 0usize))
-            .collect();
+        let mut per_benchmark: Vec<(EembcBenchmark, f64, usize)> =
+            suite.iter().map(|(b, _)| (*b, 0.0, 0usize)).collect();
 
         for row in 0..side {
             for col in 0..side {
@@ -175,12 +174,24 @@ mod tests {
         // differs in absolute terms but the split must be strongly in favour of
         // WaW+WaP, with only a small set of near-memory nodes losing.
         assert!(table.cores_worse() <= 20, "worse: {}", table.cores_worse());
-        assert!(table.cores_better() >= 43, "better: {}", table.cores_better());
+        assert!(
+            table.cores_better() >= 43,
+            "better: {}",
+            table.cores_better()
+        );
 
         // Worst slowdown stays small (paper: up to 1.5x); best improvement is
         // orders of magnitude (paper: down to 0.0002).
-        assert!(table.worst_slowdown() < 4.0, "worst {}", table.worst_slowdown());
-        assert!(table.best_improvement() < 0.05, "best {}", table.best_improvement());
+        assert!(
+            table.worst_slowdown() < 4.0,
+            "worst {}",
+            table.worst_slowdown()
+        );
+        assert!(
+            table.best_improvement() < 0.05,
+            "best {}",
+            table.best_improvement()
+        );
 
         // Ratios decrease monotonically-ish with distance: the far corner is
         // far better off than the node next to the memory controller.

@@ -231,13 +231,21 @@ mod tests {
         // the east input (row traffic merging in) and the local injection.
         let r30 = mesh.check(Coord::from_row_col(3, 0)).unwrap();
         assert_eq!(
-            model.contender_count(r30, Port::Mesh(Direction::South), Port::Mesh(Direction::North)),
+            model.contender_count(
+                r30,
+                Port::Mesh(Direction::South),
+                Port::Mesh(Direction::North)
+            ),
             2
         );
         // Along a row, a westbound packet only competes with the local injection.
         let r05 = Coord::from_row_col(0, 5);
         assert_eq!(
-            model.contender_count(r05, Port::Mesh(Direction::East), Port::Mesh(Direction::West)),
+            model.contender_count(
+                r05,
+                Port::Mesh(Direction::East),
+                Port::Mesh(Direction::West)
+            ),
             1
         );
         // No flow travels east or south anywhere in this scenario.
@@ -297,8 +305,14 @@ mod tests {
         let w8 = l8.route_wctt(&r, 1);
         // The bound degrades monotonically (and substantially) as the maximum
         // allowed packet size grows, because every contender slot lengthens.
-        assert!(w4 > w1 + 100, "L=4 ({w4}) should be far worse than L=1 ({w1})");
-        assert!(w8 > w4 + 100, "L=8 ({w8}) should be far worse than L=4 ({w4})");
+        assert!(
+            w4 > w1 + 100,
+            "L=4 ({w4}) should be far worse than L=1 ({w1})"
+        );
+        assert!(
+            w8 > w4 + 100,
+            "L=8 ({w8}) should be far worse than L=4 ({w4})"
+        );
     }
 
     #[test]

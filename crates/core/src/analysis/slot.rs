@@ -43,8 +43,7 @@ pub fn wap_improvement_factor(
     min_packet_flits: u32,
 ) -> f64 {
     let regular = contended_port_latency(contending_inputs, max_packet_flits, own_flits) as f64;
-    let wap =
-        contended_port_latency(contending_inputs, min_packet_flits, min_packet_flits) as f64;
+    let wap = contended_port_latency(contending_inputs, min_packet_flits, min_packet_flits) as f64;
     regular / wap
 }
 

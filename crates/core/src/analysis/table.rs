@@ -105,11 +105,9 @@ impl WcttTable {
         let mesh = Mesh::square(side)?;
         let flows = scenario.flow_set(&mesh)?;
         let mut regular_model = RegularWcttModel::new(&flows, timing, packet_flits);
-        let weighted_model = WeightedWcttModel::new(
-            WeightTable::from_flow_set(&flows),
-            timing,
-            packet_flits.min(1).max(1),
-        );
+        // WaP slices every message into single-flit packets at the NIC, so
+        // the weighted model's packet size is 1 regardless of `packet_flits`.
+        let weighted_model = WeightedWcttModel::new(WeightTable::from_flow_set(&flows), timing, 1);
         let mut regular_values = Vec::with_capacity(flows.len());
         let mut weighted_values = Vec::with_capacity(flows.len());
         for (id, _flow) in flows.iter() {
@@ -200,13 +198,8 @@ mod tests {
 
     #[test]
     fn row_basic_properties() {
-        let row = WcttTable::row(
-            4,
-            FlowScenario::paper_default(),
-            RouterTiming::CANONICAL,
-            1,
-        )
-        .unwrap();
+        let row =
+            WcttTable::row(4, FlowScenario::paper_default(), RouterTiming::CANONICAL, 1).unwrap();
         assert_eq!(row.dims.node_count(), 16);
         assert!(row.regular.max >= row.regular.mean as u64);
         assert!(row.regular.min <= row.regular.mean as u64);

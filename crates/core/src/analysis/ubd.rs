@@ -256,8 +256,12 @@ mod tests {
         let mut regular = UbdModel::new(NocConfig::regular(4), &flows).unwrap();
         let mut proposed = UbdModel::new(NocConfig::waw_wap(), &flows).unwrap();
         let far = Coord::from_row_col(7, 7);
-        let r = regular.core_ubd(far, memory, TransactionSizes::LOAD).unwrap();
-        let p = proposed.core_ubd(far, memory, TransactionSizes::LOAD).unwrap();
+        let r = regular
+            .core_ubd(far, memory, TransactionSizes::LOAD)
+            .unwrap();
+        let p = proposed
+            .core_ubd(far, memory, TransactionSizes::LOAD)
+            .unwrap();
         assert!(
             r.round_trip() > 100 * p.round_trip(),
             "regular {} vs proposed {}",
@@ -274,8 +278,12 @@ mod tests {
         let mut regular = UbdModel::new(NocConfig::regular(4), &flows).unwrap();
         let mut proposed = UbdModel::new(NocConfig::waw_wap(), &flows).unwrap();
         let near = Coord::from_row_col(0, 1);
-        let r = regular.core_ubd(near, memory, TransactionSizes::LOAD).unwrap();
-        let p = proposed.core_ubd(near, memory, TransactionSizes::LOAD).unwrap();
+        let r = regular
+            .core_ubd(near, memory, TransactionSizes::LOAD)
+            .unwrap();
+        let p = proposed
+            .core_ubd(near, memory, TransactionSizes::LOAD)
+            .unwrap();
         assert!(p.round_trip() > r.round_trip());
         assert!(p.round_trip() < 20 * r.round_trip());
     }
@@ -285,7 +293,9 @@ mod tests {
         let (_mesh, flows, memory) = platform(4);
         let mut model = UbdModel::new(NocConfig::regular(8), &flows).unwrap();
         let core = Coord::from_row_col(3, 3);
-        let load = model.core_ubd(core, memory, TransactionSizes::LOAD).unwrap();
+        let load = model
+            .core_ubd(core, memory, TransactionSizes::LOAD)
+            .unwrap();
         let evict = model
             .core_ubd(core, memory, TransactionSizes::EVICTION)
             .unwrap();
@@ -326,7 +336,9 @@ mod tests {
         let mut previous = 0u64;
         for l in [1u32, 4, 8] {
             let mut model = UbdModel::new(NocConfig::regular(l), &flows).unwrap();
-            let ubd = model.core_ubd(core, memory, TransactionSizes::LOAD).unwrap();
+            let ubd = model
+                .core_ubd(core, memory, TransactionSizes::LOAD)
+                .unwrap();
             assert!(ubd.round_trip() > previous);
             previous = ubd.round_trip();
         }

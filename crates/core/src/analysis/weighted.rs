@@ -190,8 +190,8 @@ mod tests {
         // but both bounds must sit in the same few-hundred-cycle range and the
         // spread between best and worst node must stay small (within ~5x),
         // unlike the regular design's 9 vs 4.7 million.
-        assert!(far_wctt >= 150 && far_wctt <= 600, "far {far_wctt}");
-        assert!(near_wctt >= 40 && near_wctt <= 300, "near {near_wctt}");
+        assert!((150..=600).contains(&far_wctt), "far {far_wctt}");
+        assert!((40..=300).contains(&near_wctt), "near {near_wctt}");
         assert!(far_wctt < 6 * near_wctt);
     }
 
@@ -228,7 +228,10 @@ mod tests {
                 continue;
             }
             let r = XyRouting.route(&mesh, src, Coord::new(0, 0)).unwrap();
-            assert!(model.packet_wctt(&r) >= RouterTiming::CANONICAL.zero_load_head_latency(r.hop_count()));
+            assert!(
+                model.packet_wctt(&r)
+                    >= RouterTiming::CANONICAL.zero_load_head_latency(r.hop_count())
+            );
         }
     }
 

@@ -179,9 +179,7 @@ impl PortArbiter for WawArbiter {
         let winner = if tied.len() == 1 {
             tied[0]
         } else {
-            self.tie_breaker
-                .grant(&tied)
-                .expect("tie set is non-empty")
+            self.tie_breaker.grant(&tied).expect("tie set is non-empty")
         };
         let idx = winner.index();
         self.credits[idx] = self.credits[idx].saturating_sub(1);

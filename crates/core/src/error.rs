@@ -116,7 +116,10 @@ mod tests {
         for e in errors {
             let text = e.to_string();
             assert!(!text.is_empty());
-            assert!(!text.ends_with('.'), "error message ends with period: {text}");
+            assert!(
+                !text.ends_with('.'),
+                "error message ends with period: {text}"
+            );
         }
     }
 

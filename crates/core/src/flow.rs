@@ -390,7 +390,10 @@ mod tests {
         let mesh = Mesh::square(4).unwrap();
         let fs = FlowSet::one_to_all(&mesh, Coord::new(1, 1)).unwrap();
         assert_eq!(fs.len(), 15);
-        assert!(fs.flows().iter().all(|f| f.src == mesh.node_id(Coord::new(1, 1)).unwrap()));
+        assert!(fs
+            .flows()
+            .iter()
+            .all(|f| f.src == mesh.node_id(Coord::new(1, 1)).unwrap()));
     }
 
     #[test]
@@ -440,15 +443,39 @@ mod tests {
         // 8x8 mesh, interior router R(3,2) => x = 2, y = 3, N = M = 8.
         let mesh = Mesh::square(8).unwrap();
         let r = Coord::from_row_col(3, 2);
-        assert_eq!(paper_input_source_count(&mesh, r, Port::Mesh(Direction::West)), 2);
-        assert_eq!(paper_input_source_count(&mesh, r, Port::Mesh(Direction::East)), 5);
-        assert_eq!(paper_input_source_count(&mesh, r, Port::Mesh(Direction::North)), 24);
-        assert_eq!(paper_input_source_count(&mesh, r, Port::Mesh(Direction::South)), 32);
+        assert_eq!(
+            paper_input_source_count(&mesh, r, Port::Mesh(Direction::West)),
+            2
+        );
+        assert_eq!(
+            paper_input_source_count(&mesh, r, Port::Mesh(Direction::East)),
+            5
+        );
+        assert_eq!(
+            paper_input_source_count(&mesh, r, Port::Mesh(Direction::North)),
+            24
+        );
+        assert_eq!(
+            paper_input_source_count(&mesh, r, Port::Mesh(Direction::South)),
+            32
+        );
         assert_eq!(paper_input_source_count(&mesh, r, Port::Local), 1);
-        assert_eq!(paper_output_source_count(&mesh, r, Port::Mesh(Direction::East)), 3);
-        assert_eq!(paper_output_source_count(&mesh, r, Port::Mesh(Direction::West)), 6);
-        assert_eq!(paper_output_source_count(&mesh, r, Port::Mesh(Direction::South)), 32);
-        assert_eq!(paper_output_source_count(&mesh, r, Port::Mesh(Direction::North)), 40);
+        assert_eq!(
+            paper_output_source_count(&mesh, r, Port::Mesh(Direction::East)),
+            3
+        );
+        assert_eq!(
+            paper_output_source_count(&mesh, r, Port::Mesh(Direction::West)),
+            6
+        );
+        assert_eq!(
+            paper_output_source_count(&mesh, r, Port::Mesh(Direction::South)),
+            32
+        );
+        assert_eq!(
+            paper_output_source_count(&mesh, r, Port::Mesh(Direction::North)),
+            40
+        );
         assert_eq!(paper_output_source_count(&mesh, r, Port::Local), 63);
     }
 

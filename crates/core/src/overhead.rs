@@ -94,7 +94,10 @@ impl MeshOverhead {
 
     /// Total WaW state bits across the mesh.
     pub fn total_waw_bits(&self) -> u64 {
-        self.routers.iter().map(|r| u64::from(r.waw_state_bits())).sum()
+        self.routers
+            .iter()
+            .map(|r| u64::from(r.waw_state_bits()))
+            .sum()
     }
 
     /// Total round-robin arbiter state bits across the mesh (the baseline).
@@ -182,7 +185,11 @@ mod tests {
         assert!(relative > 0.0);
         // Same ballpark as the paper's "< 5% router area" claim: the counters
         // stay within a few percent of the buffer state.
-        assert!(relative < 0.08, "WaW state is {:.1}% of buffer state", relative * 100.0);
+        assert!(
+            relative < 0.08,
+            "WaW state is {:.1}% of buffer state",
+            relative * 100.0
+        );
     }
 
     #[test]

@@ -322,7 +322,8 @@ mod tests {
 
     #[test]
     fn regular_packetization_single_packet() {
-        let mut p = Packetizer::new(PacketizationPolicy::regular_l4(), PhitGeometry::PAPER).unwrap();
+        let mut p =
+            Packetizer::new(PacketizationPolicy::regular_l4(), PhitGeometry::PAPER).unwrap();
         let packets = p.packetize(&msg(4)).unwrap();
         assert_eq!(packets.len(), 1);
         assert_eq!(packets[0].length_flits, 4);

@@ -132,11 +132,7 @@ impl Mesh {
 
     /// All ports of the router at `coord`, including the local port.
     pub fn ports(&self, coord: Coord) -> Vec<Port> {
-        let mut ports: Vec<Port> = self
-            .mesh_ports(coord)
-            .into_iter()
-            .map(Port::Mesh)
-            .collect();
+        let mut ports: Vec<Port> = self.mesh_ports(coord).into_iter().map(Port::Mesh).collect();
         ports.push(Port::Local);
         ports
     }

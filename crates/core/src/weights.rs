@@ -224,12 +224,14 @@ mod tests {
         // W(PME, Y-) = 0.5.
         assert!((w.weight(r11, Port::Local, Port::Mesh(Direction::North)) - 0.5).abs() < 1e-9);
         // W(X-, PME) = 0.33.
-        assert!(
-            (w.weight(r11, Port::Mesh(Direction::West), Port::Local) - 1.0 / 3.0).abs() < 1e-9
-        );
+        assert!((w.weight(r11, Port::Mesh(Direction::West), Port::Local) - 1.0 / 3.0).abs() < 1e-9);
         // W(X-, Y-) = 0.5.
         assert!(
-            (w.weight(r11, Port::Mesh(Direction::West), Port::Mesh(Direction::North)) - 0.5)
+            (w.weight(
+                r11,
+                Port::Mesh(Direction::West),
+                Port::Mesh(Direction::North)
+            ) - 0.5)
                 .abs()
                 < 1e-9
         );
@@ -247,16 +249,14 @@ mod tests {
         let w = WeightTable::all_to_all(&mesh).unwrap();
         let r11 = Coord::from_row_col(1, 1);
         assert!(
-            (w.round_robin_share(r11, Port::Local, Port::Mesh(Direction::West)) - 1.0).abs()
-                < 1e-9
+            (w.round_robin_share(r11, Port::Local, Port::Mesh(Direction::West)) - 1.0).abs() < 1e-9
         );
         assert!(
             (w.round_robin_share(r11, Port::Local, Port::Mesh(Direction::North)) - 0.5).abs()
                 < 1e-9
         );
         assert!(
-            (w.round_robin_share(r11, Port::Mesh(Direction::West), Port::Local) - 0.5).abs()
-                < 1e-9
+            (w.round_robin_share(r11, Port::Mesh(Direction::West), Port::Local) - 0.5).abs() < 1e-9
         );
         assert!(
             (w.round_robin_share(r11, Port::Mesh(Direction::North), Port::Local) - 0.5).abs()
@@ -278,7 +278,8 @@ mod tests {
                             continue;
                         }
                         let flow_weight = w.weight(router, input, output);
-                        let formula = WeightTable::paper_formula_weight(&mesh, router, input, output);
+                        let formula =
+                            WeightTable::paper_formula_weight(&mesh, router, input, output);
                         assert!(
                             (flow_weight - formula).abs() < 1e-9,
                             "weight mismatch at {router} {input}->{output} ({side}x{side}): \

@@ -8,9 +8,7 @@ use wnoc_core::arbitration::{PortArbiter, RoundRobinArbiter, WawArbiter};
 use wnoc_core::config::RouterTiming;
 use wnoc_core::flow::FlowSet;
 use wnoc_core::geometry::Coord;
-use wnoc_core::packetization::{
-    MessageDescriptor, PacketizationPolicy, Packetizer, PhitGeometry,
-};
+use wnoc_core::packetization::{MessageDescriptor, PacketizationPolicy, Packetizer, PhitGeometry};
 use wnoc_core::port::{Direction, Port};
 use wnoc_core::routing::{xy_turn_allowed, RoutingAlgorithm, XyRouting};
 use wnoc_core::topology::Mesh;
@@ -193,7 +191,7 @@ proptest! {
             .collect();
         prop_assume!(!requests.is_empty());
         let mut arb = RoundRobinArbiter::new();
-        let mut last_grant = vec![0usize; Port::COUNT];
+        let mut last_grant = [0usize; Port::COUNT];
         for cycle in 1..=100usize {
             let winner = arb.grant(&requests).unwrap();
             last_grant[winner.index()] = cycle;

@@ -107,9 +107,7 @@ impl Core {
         self.position += 1;
         self.state = Self::state_for(&self.trace, self.position);
         // Skip degenerate zero-compute, no-access events.
-        while matches!(self.state, CoreState::Finished)
-            && self.position < self.trace.len()
-        {
+        while matches!(self.state, CoreState::Finished) && self.position < self.trace.len() {
             self.position += 1;
             self.state = Self::state_for(&self.trace, self.position);
         }

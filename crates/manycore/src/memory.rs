@@ -89,9 +89,7 @@ impl MemoryController {
                 self.in_service = Some((next, now + self.service_cycles));
             }
         }
-        let Some((transaction, done_at)) = self.in_service else {
-            return None;
-        };
+        let (transaction, done_at) = self.in_service?;
         self.busy_cycles += 1;
         if now >= done_at {
             self.in_service = None;

@@ -333,11 +333,7 @@ impl ManycoreSystem {
         if let Some(response) = self.memory.tick(now) {
             let message = self
                 .network
-                .offer(
-                    self.memory_node,
-                    response.core,
-                    response.response_flits,
-                )
+                .offer(self.memory_node, response.core, response.response_flits)
                 .expect("memory and core are valid distinct nodes");
             self.pending_responses
                 .insert(message, (response.core, response.transaction));
@@ -414,17 +410,13 @@ mod tests {
     fn invalid_placements_rejected() {
         let platform = PlatformConfig::small_4x4(NocConfig::regular(4));
         // On the memory node.
-        assert!(ManycoreSystem::new(
-            platform,
-            vec![(Coord::from_row_col(0, 0), trace(1, 1))]
-        )
-        .is_err());
+        assert!(
+            ManycoreSystem::new(platform, vec![(Coord::from_row_col(0, 0), trace(1, 1))]).is_err()
+        );
         // Outside the mesh.
-        assert!(ManycoreSystem::new(
-            platform,
-            vec![(Coord::from_row_col(9, 9), trace(1, 1))]
-        )
-        .is_err());
+        assert!(
+            ManycoreSystem::new(platform, vec![(Coord::from_row_col(9, 9), trace(1, 1))]).is_err()
+        );
         // Duplicate placement.
         assert!(ManycoreSystem::new(
             platform,
@@ -454,7 +446,10 @@ mod tests {
         assert!(system.run_until_finished(1_000_000));
         let near = system.core_finish_time(Coord::from_row_col(0, 1)).unwrap();
         let far = system.core_finish_time(Coord::from_row_col(3, 3)).unwrap();
-        assert!(far + 4 >= near, "far {far} should not finish much before near {near}");
+        assert!(
+            far + 4 >= near,
+            "far {far} should not finish much before near {near}"
+        );
     }
 
     #[test]
@@ -500,12 +495,8 @@ mod tests {
         let workload = vec![(Coord::from_row_col(2, 3), trace(6, 20))];
         let mut operation = ManycoreSystem::new(platform, workload.clone()).unwrap();
         assert!(operation.run_until_finished(1_000_000));
-        let mut wcet = ManycoreSystem::with_mode(
-            platform,
-            workload,
-            ExecutionMode::WcetComputation,
-        )
-        .unwrap();
+        let mut wcet =
+            ManycoreSystem::with_mode(platform, workload, ExecutionMode::WcetComputation).unwrap();
         assert!(wcet.run_until_finished(1_000_000));
         assert!(
             wcet.execution_time() >= operation.execution_time(),

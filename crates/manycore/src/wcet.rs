@@ -130,11 +130,12 @@ impl WcetEstimator {
     ///
     /// Returns an error if `core` lies outside the mesh or is the memory node.
     pub fn transaction_bound(&self, core: Coord, kind: AccessKind) -> Result<u64> {
-        self.cache.get(&(core, kind)).copied().ok_or_else(|| {
-            Error::InvalidConfig {
+        self.cache
+            .get(&(core, kind))
+            .copied()
+            .ok_or_else(|| Error::InvalidConfig {
                 reason: format!("no transaction bound for core {core} (outside the mesh?)"),
-            }
-        })
+            })
     }
 
     /// WCET estimate of `trace` executed on the core at `core`.
@@ -232,7 +233,9 @@ mod tests {
         assert!(wcet > 1000 + 10 * 30);
         // And strictly more than a trace without any access.
         let compute_only = Trace::from_events(vec![TraceEvent::compute(1000)]);
-        let base = est.core_wcet(Coord::from_row_col(4, 4), &compute_only).unwrap();
+        let base = est
+            .core_wcet(Coord::from_row_col(4, 4), &compute_only)
+            .unwrap();
         assert_eq!(base, 1000);
         assert!(wcet > base);
     }
@@ -330,10 +333,16 @@ mod tests {
         // proposed design is insensitive to it.
         let trace = load_trace(20, 100);
         let core = Coord::from_row_col(4, 4);
-        let reg_l1 = estimator(NocConfig::regular(1)).core_wcet(core, &trace).unwrap();
-        let reg_l8 = estimator(NocConfig::regular(8)).core_wcet(core, &trace).unwrap();
+        let reg_l1 = estimator(NocConfig::regular(1))
+            .core_wcet(core, &trace)
+            .unwrap();
+        let reg_l8 = estimator(NocConfig::regular(8))
+            .core_wcet(core, &trace)
+            .unwrap();
         assert!(reg_l8 > reg_l1);
-        let wap_small = estimator(NocConfig::waw_wap()).core_wcet(core, &trace).unwrap();
+        let wap_small = estimator(NocConfig::waw_wap())
+            .core_wcet(core, &trace)
+            .unwrap();
         // WaW+WaP does not define a maximum packet size at all; its WCET sits
         // far below the regular design's for this mid-mesh core.
         assert!(wap_small < reg_l1);

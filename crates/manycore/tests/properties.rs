@@ -12,7 +12,14 @@ use wnoc_manycore::wcet::WcetEstimator;
 
 fn trace_strategy() -> impl Strategy<Value = Trace> {
     prop::collection::vec(
-        (1u64..50, prop_oneof![Just(None), Just(Some(AccessKind::Load)), Just(Some(AccessKind::Eviction))]),
+        (
+            1u64..50,
+            prop_oneof![
+                Just(None),
+                Just(Some(AccessKind::Load)),
+                Just(Some(AccessKind::Eviction))
+            ],
+        ),
         1..25,
     )
     .prop_map(|events| {
@@ -41,8 +48,8 @@ proptest! {
         let mut system = ManycoreSystem::new(platform, vec![(coord, trace.clone())]).unwrap();
         prop_assert!(system.run_until_finished(2_000_000));
         let (_, stats) = system.core_stats()[0];
-        prop_assert_eq!(u64::from(stats.loads), trace.access_count(AccessKind::Load));
-        prop_assert_eq!(u64::from(stats.evictions), trace.access_count(AccessKind::Eviction));
+        prop_assert_eq!(stats.loads, trace.access_count(AccessKind::Load));
+        prop_assert_eq!(stats.evictions, trace.access_count(AccessKind::Eviction));
         prop_assert!(system.execution_time() >= trace.total_compute_cycles());
         prop_assert_eq!(stats.compute_cycles, trace.total_compute_cycles());
     }

@@ -9,9 +9,9 @@ use wnoc_core::{
     Coord, Cycle, Direction, Error, Flit, FlowId, Mesh, MessageId, NocConfig, NodeId, Port, Result,
 };
 
+use crate::link::SimLink;
 use crate::nic::Nic;
 use crate::router::Router;
-use crate::link::SimLink;
 use crate::stats::NetworkStats;
 
 /// Progress of one message through the network.
@@ -247,7 +247,8 @@ impl Network {
                             .links
                             .get_mut(&(coord, dir))
                             .expect("output port implies link");
-                        link.push(fwd.flit).expect("one forward per output per cycle");
+                        link.push(fwd.flit)
+                            .expect("one forward per output per cycle");
                     }
                 }
             }
@@ -310,7 +311,8 @@ impl Network {
                 let end_to_end = now.saturating_sub(progress.created);
                 let traversal =
                     now.saturating_sub(progress.first_injection.unwrap_or(progress.created));
-                self.stats.record_message(progress.flow, end_to_end, traversal);
+                self.stats
+                    .record_message(progress.flow, end_to_end, traversal);
                 self.delivered.push(Delivered {
                     message: flit.message,
                     src: flit.src,
@@ -365,7 +367,10 @@ mod tests {
     }
 
     fn node(network: &Network, row: u16, col: u16) -> NodeId {
-        network.mesh().node_id(Coord::from_row_col(row, col)).unwrap()
+        network
+            .mesh()
+            .node_id(Coord::from_row_col(row, col))
+            .unwrap()
     }
 
     #[test]
@@ -406,7 +411,7 @@ mod tests {
         let latency = noc.stats().flow_traversal_latency(flow).unwrap().max;
         // 3 hops with a single-cycle router and single-cycle links: the flit
         // advances one hop per cycle and is then ejected.
-        assert!(latency >= 3 && latency <= 10, "latency {latency}");
+        assert!((3..=10).contains(&latency), "latency {latency}");
     }
 
     #[test]

@@ -112,11 +112,7 @@ impl Router {
 
     /// Number of buffered flits across all input ports.
     pub fn buffered_flits(&self) -> usize {
-        self.inputs
-            .iter()
-            .flatten()
-            .map(FlitBuffer::len)
-            .sum()
+        self.inputs.iter().flatten().map(FlitBuffer::len).sum()
     }
 
     /// Returns `true` if no flits are buffered and no wormhole path is held.
@@ -187,9 +183,7 @@ impl Router {
                 let Some(buffer) = self.inputs[hold.input.index()].as_mut() else {
                     continue;
                 };
-                let matches = buffer
-                    .front()
-                    .is_some_and(|f| f.packet == hold.packet);
+                let matches = buffer.front().is_some_and(|f| f.packet == hold.packet);
                 if !matches {
                     continue;
                 }
@@ -301,7 +295,8 @@ mod tests {
         let mut r = router(&mesh, Coord::new(1, 1), ArbitrationPolicy::RoundRobin);
         // Destination is the node to the west: (0, 1).
         let dst = mesh.node_id(Coord::new(0, 1)).unwrap();
-        r.accept(Port::Local, flit(dst, FlitKind::HeadTail, 1, 0)).unwrap();
+        r.accept(Port::Local, flit(dst, FlitKind::HeadTail, 1, 0))
+            .unwrap();
         let forwards = r.decide();
         assert_eq!(forwards.len(), 1);
         assert_eq!(forwards[0].output, Port::Mesh(wnoc_core::Direction::West));
@@ -317,8 +312,11 @@ mod tests {
         let coord = Coord::new(2, 2);
         let mut r = router(&mesh, coord, ArbitrationPolicy::RoundRobin);
         let dst = mesh.node_id(coord).unwrap();
-        r.accept(Port::Mesh(wnoc_core::Direction::East), flit(dst, FlitKind::HeadTail, 9, 0))
-            .unwrap();
+        r.accept(
+            Port::Mesh(wnoc_core::Direction::East),
+            flit(dst, FlitKind::HeadTail, 9, 0),
+        )
+        .unwrap();
         let forwards = r.decide();
         assert_eq!(forwards.len(), 1);
         assert_eq!(forwards[0].output, Port::Local);
@@ -332,9 +330,12 @@ mod tests {
         let west_dst = mesh.node_id(Coord::new(0, 1)).unwrap();
         // A three-flit packet from the local port, and a competing single-flit
         // packet from the east input, both heading west.
-        r.accept(Port::Local, flit(west_dst, FlitKind::Head, 1, 0)).unwrap();
-        r.accept(Port::Local, flit(west_dst, FlitKind::Body, 1, 1)).unwrap();
-        r.accept(Port::Local, flit(west_dst, FlitKind::Tail, 1, 2)).unwrap();
+        r.accept(Port::Local, flit(west_dst, FlitKind::Head, 1, 0))
+            .unwrap();
+        r.accept(Port::Local, flit(west_dst, FlitKind::Body, 1, 1))
+            .unwrap();
+        r.accept(Port::Local, flit(west_dst, FlitKind::Tail, 1, 2))
+            .unwrap();
         r.accept(
             Port::Mesh(wnoc_core::Direction::East),
             flit(west_dst, FlitKind::HeadTail, 2, 0),
@@ -372,8 +373,10 @@ mod tests {
             1,
         );
         let west_dst = mesh.node_id(Coord::new(0, 1)).unwrap();
-        r.accept(Port::Local, flit(west_dst, FlitKind::Head, 1, 0)).unwrap();
-        r.accept(Port::Local, flit(west_dst, FlitKind::Tail, 1, 1)).unwrap();
+        r.accept(Port::Local, flit(west_dst, FlitKind::Head, 1, 0))
+            .unwrap();
+        r.accept(Port::Local, flit(west_dst, FlitKind::Tail, 1, 1))
+            .unwrap();
         assert_eq!(r.decide().len(), 1);
         // Credit exhausted: the tail cannot move until a credit returns.
         assert_eq!(r.decide().len(), 0);
@@ -389,7 +392,10 @@ mod tests {
         let dst = mesh.node_id(Coord::new(3, 3)).unwrap();
         // The corner router has no west or north port.
         assert!(r
-            .accept(Port::Mesh(wnoc_core::Direction::West), flit(dst, FlitKind::HeadTail, 1, 0))
+            .accept(
+                Port::Mesh(wnoc_core::Direction::West),
+                flit(dst, FlitKind::HeadTail, 1, 0)
+            )
             .is_err());
         assert_eq!(r.free_slots(Port::Mesh(wnoc_core::Direction::North)), 0);
         assert!(r.free_slots(Port::Local) > 0);
@@ -401,7 +407,8 @@ mod tests {
         let mut r = router(&mesh, Coord::new(1, 1), ArbitrationPolicy::RoundRobin);
         let west_dst = mesh.node_id(Coord::new(0, 1)).unwrap();
         let south_dst = mesh.node_id(Coord::new(1, 3)).unwrap();
-        r.accept(Port::Local, flit(west_dst, FlitKind::HeadTail, 1, 0)).unwrap();
+        r.accept(Port::Local, flit(west_dst, FlitKind::HeadTail, 1, 0))
+            .unwrap();
         r.accept(
             Port::Mesh(wnoc_core::Direction::North),
             flit(south_dst, FlitKind::HeadTail, 2, 0),
@@ -430,11 +437,13 @@ mod tests {
             // Keep both inputs saturated with single-flit packets.
             while r.free_slots(east) > 0 {
                 packet += 1;
-                r.accept(east, flit(dst, FlitKind::HeadTail, packet, 0)).unwrap();
+                r.accept(east, flit(dst, FlitKind::HeadTail, packet, 0))
+                    .unwrap();
             }
             while r.free_slots(south) > 0 {
                 packet += 1;
-                r.accept(south, flit(dst, FlitKind::HeadTail, packet, 0)).unwrap();
+                r.accept(south, flit(dst, FlitKind::HeadTail, packet, 0))
+                    .unwrap();
             }
             for f in r.decide() {
                 if f.output == Port::Local {
@@ -449,6 +458,9 @@ mod tests {
         let total = east_grants + south_grants;
         assert_eq!(total, 300);
         let south_share = f64::from(south_grants) / f64::from(total);
-        assert!((south_share - 2.0 / 3.0).abs() < 0.05, "south share {south_share}");
+        assert!(
+            (south_share - 2.0 / 3.0).abs() < 0.05,
+            "south share {south_share}"
+        );
     }
 }

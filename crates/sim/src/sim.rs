@@ -29,11 +29,7 @@ impl SaturatedReport {
 
     /// Smallest per-flow maximum (the best-served flow's worst observation).
     pub fn min_of_max(&self) -> u64 {
-        self.per_flow
-            .values()
-            .map(|s| s.max)
-            .min()
-            .unwrap_or(0)
+        self.per_flow.values().map(|s| s.max).min().unwrap_or(0)
     }
 
     /// Mean of the per-flow maxima.
@@ -119,8 +115,7 @@ impl Simulation {
         measure: u64,
     ) -> Result<SaturatedReport> {
         let backlog_flits = 8 * message_flits as usize;
-        let pairs: Vec<(NodeId, NodeId)> =
-            flows.flows().iter().map(|f| (f.src, f.dst)).collect();
+        let pairs: Vec<(NodeId, NodeId)> = flows.flows().iter().map(|f| (f.src, f.dst)).collect();
 
         let mut baseline: HashMap<FlowId, LatencyStats> = HashMap::new();
         for phase in 0..2 {
@@ -210,32 +205,24 @@ mod tests {
         )
         .unwrap();
         assert!(!report.per_flow.is_empty());
-        assert!(report.max() > 4 * report.min_of_max(),
-            "max {} vs min-of-max {}", report.max(), report.min_of_max());
+        assert!(
+            report.max() > 4 * report.min_of_max(),
+            "max {} vs min-of-max {}",
+            report.max(),
+            report.min_of_max()
+        );
     }
 
     #[test]
     fn waw_wap_reduces_worst_observed_latency_spread() {
         let mesh = Mesh::square(4).unwrap();
         let hotspot = Coord::from_row_col(0, 0);
-        let regular = Simulation::saturated_hotspot(
-            &mesh,
-            NocConfig::regular(1),
-            hotspot,
-            1,
-            2_000,
-            4_000,
-        )
-        .unwrap();
-        let proposed = Simulation::saturated_hotspot(
-            &mesh,
-            NocConfig::waw_wap(),
-            hotspot,
-            1,
-            2_000,
-            4_000,
-        )
-        .unwrap();
+        let regular =
+            Simulation::saturated_hotspot(&mesh, NocConfig::regular(1), hotspot, 1, 2_000, 4_000)
+                .unwrap();
+        let proposed =
+            Simulation::saturated_hotspot(&mesh, NocConfig::waw_wap(), hotspot, 1, 2_000, 4_000)
+                .unwrap();
         // The spread between the worst- and best-served flows shrinks with
         // WaW+WaP (the core fairness claim of the paper).
         let regular_spread = regular.max() as f64 / regular.min_of_max().max(1) as f64;

@@ -8,7 +8,7 @@ use serde::{Deserialize, Serialize};
 use wnoc_core::{Coord, Cycle, FlowId, Port};
 
 /// Running summary of a latency distribution (count, sum, min, max).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct LatencyStats {
     /// Number of recorded samples.
     pub count: u64,
@@ -18,6 +18,14 @@ pub struct LatencyStats {
     pub min: u64,
     /// Largest sample.
     pub max: u64,
+}
+
+impl Default for LatencyStats {
+    /// Same as [`LatencyStats::new`]: `min` starts at `u64::MAX`, not 0, so
+    /// the first recorded sample always wins.
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl LatencyStats {
@@ -102,11 +110,11 @@ impl NetworkStats {
         self.messages_delivered += 1;
         self.message_latency
             .entry(flow)
-            .or_insert_with(LatencyStats::new)
+            .or_default()
             .record(end_to_end);
         self.traversal_latency
             .entry(flow)
-            .or_insert_with(LatencyStats::new)
+            .or_default()
             .record(traversal);
     }
 

@@ -176,8 +176,7 @@ mod tests {
     fn all_to_one_targets_the_hotspot() {
         let m = mesh();
         let dst = Coord::from_row_col(0, 0);
-        let mut gen =
-            RandomTraffic::new(&m, TrafficPattern::AllToOne { dst }, 1.0, 4, 7).unwrap();
+        let mut gen = RandomTraffic::new(&m, TrafficPattern::AllToOne { dst }, 1.0, 4, 7).unwrap();
         let offered = gen.messages_for_cycle(0);
         // Every node except the hotspot generates a message to the hotspot.
         assert_eq!(offered.len(), 15);
@@ -205,24 +204,23 @@ mod tests {
         let offered = gen.messages_for_cycle(0);
         let corner = m.node_id(Coord::new(0, 0)).unwrap();
         let opposite = m.node_id(Coord::new(3, 3)).unwrap();
-        assert!(offered
-            .iter()
-            .any(|o| o.src == corner && o.dst == opposite));
+        assert!(offered.iter().any(|o| o.src == corner && o.dst == opposite));
     }
 
     #[test]
     fn injection_rate_controls_volume() {
         let m = mesh();
-        let mut low =
-            RandomTraffic::new(&m, TrafficPattern::UniformRandom, 0.05, 4, 11).unwrap();
-        let mut high =
-            RandomTraffic::new(&m, TrafficPattern::UniformRandom, 0.8, 4, 11).unwrap();
+        let mut low = RandomTraffic::new(&m, TrafficPattern::UniformRandom, 0.05, 4, 11).unwrap();
+        let mut high = RandomTraffic::new(&m, TrafficPattern::UniformRandom, 0.8, 4, 11).unwrap();
         let count = |gen: &mut RandomTraffic| -> usize {
             (0..200).map(|c| gen.messages_for_cycle(c).len()).sum()
         };
         let low_total = count(&mut low);
         let high_total = count(&mut high);
-        assert!(high_total > 5 * low_total, "high {high_total} low {low_total}");
+        assert!(
+            high_total > 5 * low_total,
+            "high {high_total} low {low_total}"
+        );
     }
 
     #[test]

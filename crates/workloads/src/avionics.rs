@@ -322,8 +322,7 @@ fn worker_trace(cells: usize, traffic: TrafficModel) -> Trace {
         return Trace::from_events(vec![TraceEvent::compute(traffic.compute_per_cell)]);
     }
     let loads = (cells as u32).div_ceil(traffic.cells_per_line).max(1);
-    let compute_per_load =
-        (cells as u64 * traffic.compute_per_cell) / u64::from(loads).max(1);
+    let compute_per_load = (cells as u64 * traffic.compute_per_cell) / u64::from(loads).max(1);
     let mut events = Vec::new();
     for load_index in 0..loads {
         events.push(TraceEvent::load_after(compute_per_load.max(1)));
@@ -381,15 +380,13 @@ mod tests {
 
     #[test]
     fn generated_grid_keeps_start_and_goal_free() {
-        let grid =
-            ObstacleGrid::generate((10, 10, 5), 0.5, (0, 0, 0), (9, 9, 4), 123).unwrap();
+        let grid = ObstacleGrid::generate((10, 10, 5), 0.5, (0, 0, 0), (9, 9, 4), 123).unwrap();
         assert!(grid.is_free((0, 0, 0)));
         assert!(grid.is_free((9, 9, 4)));
         // With 50% density a decent number of obstacles must exist.
         assert!(grid.obstacle_count() > 100);
         // Determinism.
-        let again =
-            ObstacleGrid::generate((10, 10, 5), 0.5, (0, 0, 0), (9, 9, 4), 123).unwrap();
+        let again = ObstacleGrid::generate((10, 10, 5), 0.5, (0, 0, 0), (9, 9, 4), 123).unwrap();
         assert_eq!(grid, again);
     }
 

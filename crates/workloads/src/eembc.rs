@@ -246,7 +246,10 @@ mod tests {
         let trace = b.trace(3);
         let evictions = trace.access_count(AccessKind::Eviction) as f64;
         let ratio = evictions / trace.total_accesses() as f64;
-        assert!((ratio - b.profile().eviction_ratio).abs() < 0.1, "ratio {ratio}");
+        assert!(
+            (ratio - b.profile().eviction_ratio).abs() < 0.1,
+            "ratio {ratio}"
+        );
     }
 
     #[test]
@@ -255,7 +258,10 @@ mod tests {
         let heavy = EembcBenchmark::Matrix.trace(5);
         let light_gap = light.total_compute_cycles() as f64 / light.total_accesses() as f64;
         let heavy_gap = heavy.total_compute_cycles() as f64 / heavy.total_accesses() as f64;
-        assert!(light_gap > 3.0 * heavy_gap, "light {light_gap} heavy {heavy_gap}");
+        assert!(
+            light_gap > 3.0 * heavy_gap,
+            "light {light_gap} heavy {heavy_gap}"
+        );
     }
 
     #[test]
@@ -267,7 +273,11 @@ mod tests {
 
     #[test]
     fn mean_gap_is_close_to_profile() {
-        for b in [EembcBenchmark::Canrdr, EembcBenchmark::Matrix, EembcBenchmark::A2time] {
+        for b in [
+            EembcBenchmark::Canrdr,
+            EembcBenchmark::Matrix,
+            EembcBenchmark::A2time,
+        ] {
             let trace = b.trace(13);
             let profile = b.profile();
             let mean = trace.total_compute_cycles() as f64 / trace.total_accesses() as f64;

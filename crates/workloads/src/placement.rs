@@ -175,7 +175,10 @@ mod tests {
         let set = Placement::paper_set(&mesh(), memory).unwrap();
         let d0 = set[0].mean_distance_to(memory);
         let d2 = set[2].mean_distance_to(memory);
-        assert!(d2 > d0 + 4.0, "P2 ({d2}) should be much farther than P0 ({d0})");
+        assert!(
+            d2 > d0 + 4.0,
+            "P2 ({d2}) should be much farther than P0 ({d0})"
+        );
     }
 
     #[test]
@@ -193,9 +196,7 @@ mod tests {
         )
         .is_err());
         // Outside the mesh.
-        assert!(
-            Placement::new("bad", vec![Coord::from_row_col(9, 9)], &m, memory).is_err()
-        );
+        assert!(Placement::new("bad", vec![Coord::from_row_col(9, 9)], &m, memory).is_err());
     }
 
     #[test]

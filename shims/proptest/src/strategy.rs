@@ -1,0 +1,234 @@
+//! The [`Strategy`] trait and the combinators the workspace uses.
+
+use crate::test_runner::TestRng;
+use core::marker::PhantomData;
+use core::ops::{Range, RangeInclusive};
+
+/// A recipe for generating values of `Self::Value`.
+///
+/// Unlike the real proptest there is no value tree / shrinking: `sample`
+/// produces a finished value directly.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Draw one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform every generated value with `map`.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, map: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, map }
+    }
+
+    /// Keep only values for which `pred` holds; `reason` labels the filter in
+    /// the panic raised if the filter rejects essentially everything.
+    fn prop_filter<F: Fn(&Self::Value) -> bool>(
+        self,
+        reason: &'static str,
+        pred: F,
+    ) -> Filter<Self, F>
+    where
+        Self: Sized,
+    {
+        Filter {
+            inner: self,
+            reason,
+            pred,
+        }
+    }
+
+    /// Erase the concrete strategy type (used by `prop_oneof!`).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+/// A type-erased strategy.
+pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        (**self).sample(rng)
+    }
+}
+
+/// Strategy that always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Output of [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    map: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn sample(&self, rng: &mut TestRng) -> O {
+        (self.map)(self.inner.sample(rng))
+    }
+}
+
+/// Output of [`Strategy::prop_filter`].
+#[derive(Debug, Clone)]
+pub struct Filter<S, F> {
+    inner: S,
+    reason: &'static str,
+    pred: F,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+
+    fn sample(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..1_000 {
+            let candidate = self.inner.sample(rng);
+            if (self.pred)(&candidate) {
+                return candidate;
+            }
+        }
+        panic!(
+            "prop_filter `{}` rejected 1000 consecutive samples",
+            self.reason
+        );
+    }
+}
+
+/// Uniform choice between same-valued strategies (`prop_oneof!`).
+pub struct Union<T> {
+    options: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> core::fmt::Debug for Union<T> {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("Union")
+            .field("options", &self.options.len())
+            .finish()
+    }
+}
+
+impl<T> Union<T> {
+    /// Build a union over `options` (must be non-empty).
+    pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+        Self { options }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        let index = (rng.next_u64() % self.options.len() as u64) as usize;
+        self.options[index].sample(rng)
+    }
+}
+
+/// Strategy for "any value of `T`" (`any::<T>()`).
+#[derive(Debug, Clone, Copy)]
+pub struct Any<T>(PhantomData<T>);
+
+/// Values that [`any`] can produce directly from the RNG stream.
+pub trait ArbitraryValue: Sized {
+    /// Draw a value covering the full domain of `Self`.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+/// Create a strategy yielding arbitrary values of `T`.
+pub fn any<T: ArbitraryValue>() -> Any<T> {
+    Any(PhantomData)
+}
+
+impl<T: ArbitraryValue> Strategy for Any<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+impl ArbitraryValue for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! impl_arbitrary_uint {
+    ($($t:ty),*) => {$(
+        impl ArbitraryValue for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_uint!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as u128).wrapping_sub(self.start as u128);
+                let offset = (rng.next_u64() as u128) % span;
+                (self.start as u128 + offset) as $t
+            }
+        }
+
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "cannot sample empty range");
+                let span = (end as u128).wrapping_sub(start as u128).wrapping_add(1);
+                let offset = (rng.next_u64() as u128) % span;
+                (start as u128 + offset) as $t
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident $idx:tt),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A 0)
+    (A 0, B 1)
+    (A 0, B 1, C 2)
+    (A 0, B 1, C 2, D 3)
+    (A 0, B 1, C 2, D 3, E 4)
+    (A 0, B 1, C 2, D 3, E 4, F 5)
+}

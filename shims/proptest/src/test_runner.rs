@@ -1,0 +1,47 @@
+//! Runner configuration and the deterministic RNG driving sampling.
+
+/// Marker returned by `prop_assume!` when a case must be discarded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Rejected;
+
+/// Subset of `proptest::test_runner::ProptestConfig` the workspace uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProptestConfig {
+    /// Number of accepted cases to run per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Run `cases` accepted cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // The real crate defaults to 256; 64 keeps offline CI snappy while
+        // still exploring a meaningful slice of the space.
+        Self { cases: 64 }
+    }
+}
+
+/// Deterministic RNG used to sample strategies (SplitMix64 underneath).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    inner: rand::rngs::SplitMix64,
+}
+
+impl TestRng {
+    /// Seed the sampling stream.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            inner: rand::rngs::SplitMix64::new(seed),
+        }
+    }
+
+    /// Next raw word of the stream.
+    pub fn next_u64(&mut self) -> u64 {
+        rand::RngCore::next_u64(&mut self.inner)
+    }
+}

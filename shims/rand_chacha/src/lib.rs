@@ -1,0 +1,139 @@
+//! Offline shim for `rand_chacha`.
+//!
+//! Exposes [`ChaCha8Rng`] with the same name and trait surface the workspace
+//! relies on (`SeedableRng::seed_from_u64` + `RngCore`).  The stream is a real
+//! ChaCha with 8 rounds, keyed the way `rand_chacha` keys `seed_from_u64`
+//! seeds — deterministic and statistically strong, which is what the traffic
+//! generators and reproducibility tests need.  The exact output stream is NOT
+//! guaranteed to be bit-identical to the crates.io release; nothing in this
+//! workspace depends on specific draws.  See `shims/README.md`.
+
+#![forbid(unsafe_code)]
+
+use rand::{RngCore, SeedableRng};
+
+const ROUNDS: usize = 8;
+
+/// ChaCha stream cipher with 8 rounds, used as a deterministic RNG.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChaCha8Rng {
+    /// The 16-word ChaCha input state (constants, key, counter, nonce).
+    state: [u32; 16],
+    /// Buffered output of the last block.
+    block: [u32; 16],
+    /// Next unread word in `block`; 16 means "exhausted".
+    cursor: usize,
+}
+
+#[inline]
+fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(12);
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(7);
+}
+
+impl ChaCha8Rng {
+    fn refill(&mut self) {
+        let mut working = self.state;
+        for _ in 0..ROUNDS / 2 {
+            // Column rounds.
+            quarter_round(&mut working, 0, 4, 8, 12);
+            quarter_round(&mut working, 1, 5, 9, 13);
+            quarter_round(&mut working, 2, 6, 10, 14);
+            quarter_round(&mut working, 3, 7, 11, 15);
+            // Diagonal rounds.
+            quarter_round(&mut working, 0, 5, 10, 15);
+            quarter_round(&mut working, 1, 6, 11, 12);
+            quarter_round(&mut working, 2, 7, 8, 13);
+            quarter_round(&mut working, 3, 4, 9, 14);
+        }
+        for (out, init) in working.iter_mut().zip(self.state.iter()) {
+            *out = out.wrapping_add(*init);
+        }
+        self.block = working;
+        self.cursor = 0;
+        // 64-bit block counter in words 12..14.
+        let (low, carry) = self.state[12].overflowing_add(1);
+        self.state[12] = low;
+        if carry {
+            self.state[13] = self.state[13].wrapping_add(1);
+        }
+    }
+}
+
+impl SeedableRng for ChaCha8Rng {
+    fn seed_from_u64(seed: u64) -> Self {
+        // Expand the 64-bit seed into a 256-bit key with SplitMix64, exactly
+        // like rand's default `seed_from_u64` key-stretching approach.
+        let mut stretch = rand::rngs::SplitMix64::new(seed);
+        let mut key = [0u32; 8];
+        for pair in key.chunks_mut(2) {
+            let word = stretch.next_u64();
+            pair[0] = word as u32;
+            pair[1] = (word >> 32) as u32;
+        }
+        let mut state = [0u32; 16];
+        // "expand 32-byte k" constants.
+        state[0] = 0x6170_7865;
+        state[1] = 0x3320_646e;
+        state[2] = 0x7962_2d32;
+        state[3] = 0x6b20_6574;
+        state[4..12].copy_from_slice(&key);
+        // Counter and nonce start at zero.
+        Self {
+            state,
+            block: [0; 16],
+            cursor: 16,
+        }
+    }
+}
+
+impl RngCore for ChaCha8Rng {
+    fn next_u64(&mut self) -> u64 {
+        if self.cursor + 2 > 16 {
+            self.refill();
+        }
+        let low = self.block[self.cursor] as u64;
+        let high = self.block[self.cursor + 1] as u64;
+        self.cursor += 2;
+        low | (high << 32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::ChaCha8Rng;
+    use rand::{Rng, RngCore, SeedableRng};
+
+    #[test]
+    fn deterministic_and_seed_sensitive() {
+        let mut a = ChaCha8Rng::seed_from_u64(123);
+        let mut b = ChaCha8Rng::seed_from_u64(123);
+        let mut c = ChaCha8Rng::seed_from_u64(124);
+        let draws_a: Vec<u64> = (0..64).map(|_| a.next_u64()).collect();
+        let draws_b: Vec<u64> = (0..64).map(|_| b.next_u64()).collect();
+        let draws_c: Vec<u64> = (0..64).map(|_| c.next_u64()).collect();
+        assert_eq!(draws_a, draws_b);
+        assert_ne!(draws_a, draws_c);
+    }
+
+    #[test]
+    fn usable_through_rng_trait() {
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let mut heads = 0u32;
+        for _ in 0..1000 {
+            if rng.gen_bool(0.5) {
+                heads += 1;
+            }
+            let x = rng.gen_range(0usize..10);
+            assert!(x < 10);
+        }
+        // A fair coin over 1000 flips lands well inside [350, 650].
+        assert!((350..=650).contains(&heads), "heads={heads}");
+    }
+}

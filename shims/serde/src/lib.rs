@@ -1,0 +1,10 @@
+//! Offline shim for `serde`.
+//!
+//! Provides exactly the surface the `wnoc` workspace uses — the
+//! `Serialize` / `Deserialize` derive macros — as no-ops, because the build
+//! environment cannot reach a crates registry.  See `shims/README.md` for the
+//! swap-back instructions.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};

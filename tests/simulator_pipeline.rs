@@ -33,7 +33,10 @@ fn eembc_workload_completes_on_both_designs() {
             if row == 0 && col == 0 {
                 continue;
             }
-            workloads.push((Coord::from_row_col(row, col), truncate(benchmarks[index % 16])));
+            workloads.push((
+                Coord::from_row_col(row, col),
+                truncate(benchmarks[index % 16]),
+            ));
             index += 1;
         }
     }
@@ -41,7 +44,11 @@ fn eembc_workload_completes_on_both_designs() {
     for noc in [NocConfig::regular(4), NocConfig::waw_wap()] {
         let platform = PlatformConfig::small_4x4(noc);
         let mut system = ManycoreSystem::new(platform, workloads.clone()).unwrap();
-        assert!(system.run_until_finished(5_000_000), "{} did not finish", noc.label());
+        assert!(
+            system.run_until_finished(5_000_000),
+            "{} did not finish",
+            noc.label()
+        );
         // Every core issued every access of its trace.
         for ((coord, trace), (_, stats)) in workloads.iter().zip(system.core_stats()) {
             assert_eq!(
@@ -98,7 +105,9 @@ fn weighted_bound_dominates_observed_latency() {
             sim.network_mut().step();
         }
         // Inject the probe and keep the background saturated until it arrives.
-        sim.network_mut().offer(probe_node, hotspot_node, 1).unwrap();
+        sim.network_mut()
+            .offer(probe_node, hotspot_node, 1)
+            .unwrap();
         let probe_flow = sim.network_mut().flow_id(probe_node, hotspot_node);
         for _ in 0..10_000 {
             for flow in &background {
@@ -124,7 +133,10 @@ fn weighted_bound_dominates_observed_latency() {
         );
         // The bound is not vacuous either: it stays within a small factor of
         // the observation instead of being orders of magnitude above it.
-        assert!(bound <= 4 * observed, "bound {bound} is far looser than observed {observed}");
+        assert!(
+            bound <= 4 * observed,
+            "bound {bound} is far looser than observed {observed}"
+        );
     }
 }
 
@@ -155,15 +167,9 @@ fn simulation_is_deterministic() {
     let run = || -> (u64, u64) {
         let mesh = Mesh::square(4).unwrap();
         let hotspot = Coord::from_row_col(0, 0);
-        let report = Simulation::saturated_hotspot(
-            &mesh,
-            NocConfig::waw_wap(),
-            hotspot,
-            1,
-            1_000,
-            2_000,
-        )
-        .unwrap();
+        let report =
+            Simulation::saturated_hotspot(&mesh, NocConfig::waw_wap(), hotspot, 1, 1_000, 2_000)
+                .unwrap();
         (report.max(), report.min_of_max())
     };
     assert_eq!(run(), run());
@@ -189,5 +195,8 @@ fn zero_load_latency_consistency() {
     // The simulator's single-cycle router is at least as fast as the analytical
     // zero-load model and never slower than twice that figure in an empty mesh.
     assert!(observed as f64 >= route.hop_count() as f64);
-    assert!((observed) <= 2 * zero_load, "observed {observed} vs zero-load {zero_load}");
+    assert!(
+        (observed) <= 2 * zero_load,
+        "observed {observed} vs zero-load {zero_load}"
+    );
 }
