@@ -1,0 +1,48 @@
+//! Benchmark of the conformance campaign runner: single-threaded vs parallel
+//! execution of the same seeded scenario campaign.
+//!
+//! The parallel runner pulls scenario indices from a shared atomic cursor, so
+//! its speedup over the single-threaded run (reported by comparing the two
+//! benchmark lines) tracks the available cores even though individual
+//! scenarios vary wildly in cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use wnoc_conformance::Campaign;
+
+/// Seed and size of the benchmarked campaign: large enough that the runner's
+/// scheduling matters, small enough for a tight iteration loop.  Debug builds
+/// (`cargo test` runs every `harness = false` bench once as a smoke test)
+/// shrink the campaign so the tier-1 suite stays fast.
+const SEED: u64 = 7;
+#[cfg(debug_assertions)]
+const SCENARIOS: usize = 4;
+#[cfg(not(debug_assertions))]
+const SCENARIOS: usize = 24;
+
+fn campaign_runner(c: &mut Criterion) {
+    let campaign = Campaign::new(SEED, SCENARIOS);
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+
+    let mut group = c.benchmark_group("conformance_campaign");
+    let mut thread_counts = vec![1usize, cores];
+    thread_counts.dedup();
+    for threads in thread_counts {
+        group.bench_with_input(
+            BenchmarkId::new("threads", threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| {
+                    let report = campaign.run(threads).expect("campaign");
+                    assert!(report.passed());
+                    report.scenario_count()
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, campaign_runner);
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! Conformance campaign: cross-validates the cycle-accurate simulator against
+//! every analytic WCTT bound on a randomized, seeded scenario campaign, run on
+//! the parallel campaign runner.
+//!
+//! Usage: `expt-conformance [--scenarios N] [--seed S] [--threads T]`
+//!
+//! Defaults: 200 scenarios, seed 7, one worker per available core.  The
+//! stdout summary depends only on `(scenarios, seed)` — never on the worker
+//! count — so it is snapshot-testable; timing goes to stderr.  Exits non-zero
+//! if any dominance or ordering violation is found.
+
+use std::time::Instant;
+
+use wnoc_conformance::Campaign;
+
+fn main() {
+    // This binary gates CI, so misconfiguration must be loud: unknown flags
+    // are an error, never silently replaced by defaults.
+    let mut scenarios: usize = 200;
+    let mut seed: u64 = 7;
+    let mut threads: usize = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = |flag: &str| {
+            args.next()
+                .unwrap_or_else(|| panic!("{flag} requires a value"))
+        };
+        match flag.as_str() {
+            "--scenarios" => {
+                scenarios = value("--scenarios")
+                    .parse()
+                    .expect("--scenarios takes a number");
+            }
+            "--seed" => seed = value("--seed").parse().expect("--seed takes a number"),
+            "--threads" => {
+                threads = value("--threads")
+                    .parse()
+                    .expect("--threads takes a number");
+            }
+            unknown => {
+                eprintln!(
+                    "unknown argument {unknown}; usage: \
+                     expt-conformance [--scenarios N] [--seed S] [--threads T]"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let start = Instant::now();
+    let report = Campaign::new(seed, scenarios)
+        .run(threads)
+        .expect("conformance campaign");
+    eprintln!(
+        "campaign of {scenarios} scenarios took {:.2?} on {threads} thread(s)",
+        start.elapsed()
+    );
+
+    print!("{}", report.render());
+    if !report.passed() {
+        std::process::exit(1);
+    }
+}

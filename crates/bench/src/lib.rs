@@ -13,10 +13,17 @@
 //! | E6 | Average performance (< 1% degradation) | [`avg_perf`] | `expt-avg-perf` |
 //! | E7 | Section III slot model (3·L+S vs 3·m+m) | [`slot`] | `expt-slot-model` |
 //! | A1 | Ablation: WaP alone, WaW alone, both | [`ablation`] | `expt-ablation` |
+//! | C1 | Conformance campaign (sim vs analytic bounds) | `wnoc-conformance` | `expt-conformance` |
 //!
 //! Criterion benchmarks under `benches/` measure the cost of regenerating each
 //! artefact and the simulator's raw throughput, so regressions in the substrate
 //! are visible.
+//!
+//! Golden-output snapshots of every binary live under `tests/golden/`; the
+//! `golden` integration test diffs the binaries' stdout against them with a
+//! normalizing comparison so refactors cannot silently change the reproduced
+//! paper numbers (regenerate intentionally changed outputs with
+//! `UPDATE_GOLDEN=1`).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -1,0 +1,149 @@
+//! Golden-output snapshot tests for every `expt-*` binary: refactors cannot
+//! silently change the reproduced paper numbers.
+//!
+//! Each test runs the binary (the exact build under test, via
+//! `CARGO_BIN_EXE_*`), normalizes its stdout (line endings, trailing
+//! whitespace, volatile lines such as timings) and diffs it against the
+//! snapshot under `tests/golden/`.  To regenerate snapshots after an
+//! intentional output change:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test --release -p wnoc-bench --test golden -- --include-ignored
+//! ```
+//!
+//! The two heaviest binaries are `#[ignore]`d in debug builds (a debug
+//! simulator run takes minutes); CI runs them in release via
+//! `--include-ignored`.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+/// Lines that may legitimately differ between runs (timings, thread counts).
+fn is_volatile(line: &str) -> bool {
+    ["took ", "elapsed", "thread(s)"]
+        .iter()
+        .any(|pattern| line.contains(pattern))
+}
+
+/// Normalizes output for a stable diff: unified line endings, no trailing
+/// whitespace, volatile lines dropped.
+fn normalize(raw: &str) -> String {
+    let mut lines: Vec<String> = raw
+        .replace("\r\n", "\n")
+        .lines()
+        .map(|line| line.trim_end().to_owned())
+        .filter(|line| !is_volatile(line))
+        .collect();
+    while lines.last().is_some_and(|l| l.is_empty()) {
+        lines.pop();
+    }
+    lines.join("\n") + "\n"
+}
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(format!("{name}.txt"))
+}
+
+/// Runs `binary` with `args` and compares normalized stdout against the
+/// snapshot `tests/golden/<name>.txt`.
+fn check_golden(name: &str, binary: &str, args: &[&str]) {
+    let output = Command::new(binary)
+        .args(args)
+        .output()
+        .unwrap_or_else(|e| panic!("failed to run {binary}: {e}"));
+    assert!(
+        output.status.success(),
+        "{name} exited with {:?}\nstderr:\n{}",
+        output.status,
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let actual = normalize(&String::from_utf8_lossy(&output.stdout));
+
+    let path = golden_path(name);
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(&path, &actual).expect("write golden snapshot");
+        return;
+    }
+    let expected = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing golden snapshot {}: {e}", path.display()));
+    let expected = normalize(&expected);
+    if actual != expected {
+        // A compact line diff beats a giant string assert.
+        let mut diff = String::new();
+        for (index, (want, got)) in expected.lines().zip(actual.lines()).enumerate() {
+            if want != got {
+                diff.push_str(&format!("line {}:\n  -{want}\n  +{got}\n", index + 1));
+            }
+        }
+        let (want_count, got_count) = (expected.lines().count(), actual.lines().count());
+        if want_count != got_count {
+            diff.push_str(&format!(
+                "line count changed: {want_count} -> {got_count}\n"
+            ));
+        }
+        panic!(
+            "{name} output drifted from tests/golden/{name}.txt \
+             (set UPDATE_GOLDEN=1 to accept):\n{diff}"
+        );
+    }
+}
+
+#[test]
+fn golden_expt_table1() {
+    check_golden("expt-table1", env!("CARGO_BIN_EXE_expt-table1"), &[]);
+}
+
+#[test]
+fn golden_expt_table2() {
+    check_golden("expt-table2", env!("CARGO_BIN_EXE_expt-table2"), &[]);
+}
+
+#[test]
+fn golden_expt_table3() {
+    check_golden("expt-table3", env!("CARGO_BIN_EXE_expt-table3"), &[]);
+}
+
+#[test]
+fn golden_expt_fig2a() {
+    check_golden("expt-fig2a", env!("CARGO_BIN_EXE_expt-fig2a"), &[]);
+}
+
+#[test]
+fn golden_expt_fig2b() {
+    check_golden("expt-fig2b", env!("CARGO_BIN_EXE_expt-fig2b"), &[]);
+}
+
+#[test]
+fn golden_expt_slot_model() {
+    check_golden(
+        "expt-slot-model",
+        env!("CARGO_BIN_EXE_expt-slot-model"),
+        &[],
+    );
+}
+
+#[test]
+fn golden_expt_ablation() {
+    check_golden("expt-ablation", env!("CARGO_BIN_EXE_expt-ablation"), &[]);
+}
+
+/// ~40 s in a debug build; CI covers it in release with `--include-ignored`.
+#[test]
+#[cfg_attr(debug_assertions, ignore = "slow in debug; run in release")]
+fn golden_expt_avg_perf() {
+    check_golden("expt-avg-perf", env!("CARGO_BIN_EXE_expt-avg-perf"), &[]);
+}
+
+/// A small seeded campaign; the summary depends only on `(scenarios, seed)`,
+/// not on the worker count.  Slow in debug, covered in release by CI.
+#[test]
+#[cfg_attr(debug_assertions, ignore = "slow in debug; run in release")]
+fn golden_expt_conformance() {
+    check_golden(
+        "expt-conformance",
+        env!("CARGO_BIN_EXE_expt-conformance"),
+        &["--scenarios", "25", "--seed", "7", "--threads", "2"],
+    );
+}

@@ -1,0 +1,346 @@
+//! The parallel campaign runner and the aggregated conformance report.
+//!
+//! A [`Campaign`] is a seeded list of scenarios (see
+//! [`Scenario::sample`](crate::Scenario::sample)).  [`Campaign::run`] executes
+//! them on a work-stealing-lite pool: `std::thread::scope` workers pull
+//! scenario indices from one shared atomic cursor, so a worker that lands on
+//! cheap 2×2 scenarios simply pulls more of them while another grinds through
+//! a 12×12 platform — no pre-partitioning, no idle tails, no dependencies
+//! beyond the standard library.
+//!
+//! Outcomes are reassembled in scenario order, so the produced
+//! [`ConformanceReport`] is byte-identical regardless of the worker count —
+//! the report of a 16-thread campaign can be diffed against a single-threaded
+//! rerun.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use serde::{Deserialize, Serialize};
+
+use wnoc_core::Result;
+use wnoc_sim::LatencyStats;
+
+use crate::scenario::{Scenario, ScenarioOutcome, TightnessSummary};
+
+/// A seeded conformance campaign.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Campaign {
+    /// Master seed; scenario `i` is `Scenario::sample(i, seed)`.
+    pub seed: u64,
+    /// Number of scenarios.
+    pub scenarios: usize,
+}
+
+impl Campaign {
+    /// Creates a campaign description.
+    pub fn new(seed: u64, scenarios: usize) -> Self {
+        Self { seed, scenarios }
+    }
+
+    /// Materialises every scenario of the campaign.
+    pub fn generate(&self) -> Vec<Scenario> {
+        (0..self.scenarios)
+            .map(|index| Scenario::sample(index, self.seed))
+            .collect()
+    }
+
+    /// Runs the campaign on `threads` workers (clamped to at least one).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first scenario error encountered (sampled scenarios are
+    /// valid by construction, so this indicates a generator or platform bug).
+    pub fn run(&self, threads: usize) -> Result<ConformanceReport> {
+        let scenarios = self.generate();
+        let cursor = AtomicUsize::new(0);
+        let workers = threads.max(1).min(scenarios.len().max(1));
+
+        let mut slots: Vec<Option<ScenarioOutcome>> = Vec::new();
+        slots.resize_with(scenarios.len(), || None);
+
+        std::thread::scope(|scope| -> Result<()> {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    scope.spawn(|| -> Result<Vec<(usize, ScenarioOutcome)>> {
+                        let mut completed = Vec::new();
+                        loop {
+                            let index = cursor.fetch_add(1, Ordering::Relaxed);
+                            let Some(scenario) = scenarios.get(index) else {
+                                return Ok(completed);
+                            };
+                            completed.push((index, scenario.run()?));
+                        }
+                    })
+                })
+                .collect();
+            for handle in handles {
+                for (index, outcome) in handle.join().expect("campaign worker panicked")? {
+                    slots[index] = Some(outcome);
+                }
+            }
+            Ok(())
+        })?;
+
+        Ok(ConformanceReport {
+            seed: self.seed,
+            outcomes: slots
+                .into_iter()
+                .map(|slot| slot.expect("every scenario index was claimed"))
+                .collect(),
+        })
+    }
+}
+
+/// Aggregated tightness over a group of scenarios.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DesignSummary {
+    /// Scenarios in the group.
+    pub scenarios: usize,
+    /// Observed flows across the group.
+    pub flows: usize,
+    /// Flow-weighted mean tightness ratio.
+    pub mean_tightness: f64,
+    /// Largest per-flow tightness ratio in the group.
+    pub max_tightness: f64,
+}
+
+/// The machine-checked verdict of a campaign, one outcome per scenario in
+/// campaign order (independent of the worker count that produced it).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ConformanceReport {
+    /// The campaign's master seed.
+    pub seed: u64,
+    /// Per-scenario outcomes, in scenario order.
+    pub outcomes: Vec<ScenarioOutcome>,
+}
+
+impl ConformanceReport {
+    /// Number of scenarios.
+    pub fn scenario_count(&self) -> usize {
+        self.outcomes.len()
+    }
+
+    /// Total dominance violations across the campaign.
+    pub fn dominance_violations(&self) -> usize {
+        self.outcomes.iter().map(|o| o.violations.len()).sum()
+    }
+
+    /// Total cross-analysis ordering violations across the campaign.
+    pub fn ordering_violations(&self) -> usize {
+        self.outcomes
+            .iter()
+            .map(|o| o.ordering_violations.len())
+            .sum()
+    }
+
+    /// `true` when no scenario recorded any violation.
+    pub fn passed(&self) -> bool {
+        self.outcomes.iter().all(ScenarioOutcome::passed)
+    }
+
+    /// Every observation of the campaign folded into one summary (merged with
+    /// [`LatencyStats::merge`] in scenario order).
+    pub fn observed(&self) -> LatencyStats {
+        let mut all = LatencyStats::new();
+        for outcome in &self.outcomes {
+            all.merge(&outcome.observed);
+        }
+        all
+    }
+
+    /// Flow-weighted aggregate tightness over all scenarios.
+    pub fn tightness(&self) -> TightnessSummary {
+        Self::aggregate_tightness(self.outcomes.iter())
+    }
+
+    /// The scenario with the largest per-flow tightness ratio, if any flow
+    /// was observed.
+    pub fn tightest_scenario(&self) -> Option<&ScenarioOutcome> {
+        self.outcomes
+            .iter()
+            .filter(|o| o.tightness.flows > 0)
+            .max_by(|a, b| {
+                a.tightness
+                    .max
+                    .partial_cmp(&b.tightness.max)
+                    .expect("tightness ratios are finite")
+            })
+    }
+
+    /// Aggregate tightness per design label, in deterministic label order.
+    pub fn per_design(&self) -> Vec<(String, DesignSummary)> {
+        let mut labels: Vec<String> = self
+            .outcomes
+            .iter()
+            .map(|o| o.scenario.design.label())
+            .collect();
+        labels.sort();
+        labels.dedup();
+        labels
+            .into_iter()
+            .map(|label| {
+                let group: Vec<&ScenarioOutcome> = self
+                    .outcomes
+                    .iter()
+                    .filter(|o| o.scenario.design.label() == label)
+                    .collect();
+                let summary = Self::aggregate_tightness(group.iter().copied());
+                (
+                    label,
+                    DesignSummary {
+                        scenarios: group.len(),
+                        flows: summary.flows,
+                        mean_tightness: summary.mean,
+                        max_tightness: summary.max,
+                    },
+                )
+            })
+            .collect()
+    }
+
+    fn aggregate_tightness<'a>(
+        outcomes: impl Iterator<Item = &'a ScenarioOutcome>,
+    ) -> TightnessSummary {
+        let mut flows = 0usize;
+        let mut weighted_sum = 0.0f64;
+        let mut min = f64::INFINITY;
+        let mut max = 0.0f64;
+        for outcome in outcomes {
+            let t = outcome.tightness;
+            if t.flows == 0 {
+                continue;
+            }
+            flows += t.flows;
+            weighted_sum += t.mean * t.flows as f64;
+            min = min.min(t.min);
+            max = max.max(t.max);
+        }
+        if flows == 0 {
+            TightnessSummary {
+                flows: 0,
+                mean: 0.0,
+                min: 0.0,
+                max: 0.0,
+            }
+        } else {
+            TightnessSummary {
+                flows,
+                mean: weighted_sum / flows as f64,
+                min,
+                max,
+            }
+        }
+    }
+
+    /// Renders the deterministic human-readable summary printed by
+    /// `expt-conformance`.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "Conformance campaign — {} scenarios, seed {}\n",
+            self.scenario_count(),
+            self.seed
+        ));
+        let observed = self.observed();
+        out.push_str(&format!(
+            "observations    : {} messages across {} checked flows\n",
+            observed.count,
+            self.tightness().flows
+        ));
+        let checked = self.outcomes.iter().filter(|o| o.dominance_checked).count();
+        out.push_str(&format!(
+            "dominance scope : {checked} scenarios checked, {} ordering-only \
+             (WaW on divergent flow sets)\n",
+            self.scenario_count() - checked
+        ));
+        out.push_str(&format!(
+            "dominance       : {} violations\n",
+            self.dominance_violations()
+        ));
+        out.push_str(&format!(
+            "ordering        : {} violations\n",
+            self.ordering_violations()
+        ));
+        out.push_str("design          | scenarios | flows | mean tightness | max tightness\n");
+        for (label, summary) in self.per_design() {
+            out.push_str(&format!(
+                "{:<15} | {:>9} | {:>5} | {:>14.3} | {:>13.3}\n",
+                label,
+                summary.scenarios,
+                summary.flows,
+                summary.mean_tightness,
+                summary.max_tightness
+            ));
+        }
+        if let Some(tightest) = self.tightest_scenario() {
+            out.push_str(&format!(
+                "tightest        : {:.3} at {}\n",
+                tightest.tightness.max,
+                tightest.scenario.label()
+            ));
+        }
+        for outcome in self.outcomes.iter().filter(|o| !o.passed()) {
+            out.push_str(&format!(
+                "FAILED {}: {} dominance, {} ordering violations\n",
+                outcome.scenario.label(),
+                outcome.violations.len(),
+                outcome.ordering_violations.len()
+            ));
+            for violation in &outcome.violations {
+                out.push_str(&format!(
+                    "  {} observed {} > {} bound {}\n",
+                    violation.flow, violation.observed, violation.oracle, violation.bound
+                ));
+            }
+            for failure in &outcome.ordering_violations {
+                out.push_str(&format!("  {failure}\n"));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generate_is_deterministic() {
+        let campaign = Campaign::new(7, 5);
+        assert_eq!(campaign.generate(), campaign.generate());
+        assert_eq!(campaign.generate().len(), 5);
+    }
+
+    #[test]
+    fn small_campaign_passes_and_reports() {
+        let report = Campaign::new(11, 6).run(2).unwrap();
+        assert_eq!(report.scenario_count(), 6);
+        assert!(report.passed(), "{}", report.render());
+        assert_eq!(report.dominance_violations(), 0);
+        assert_eq!(report.ordering_violations(), 0);
+        let tightness = report.tightness();
+        assert!(tightness.flows > 0);
+        assert!(tightness.max <= 1.0);
+        assert!(report.observed().count > 0);
+        let text = report.render();
+        assert!(text.contains("6 scenarios"));
+        assert!(text.contains("dominance       : 0 violations"));
+    }
+
+    #[test]
+    fn report_is_identical_for_any_worker_count() {
+        let campaign = Campaign::new(3, 5);
+        let single = campaign.run(1).unwrap();
+        let parallel = campaign.run(4).unwrap();
+        let oversubscribed = campaign.run(64).unwrap();
+        assert_eq!(single, parallel);
+        assert_eq!(single, oversubscribed);
+    }
+
+    #[test]
+    fn per_design_covers_every_outcome() {
+        let report = Campaign::new(21, 8).run(4).unwrap();
+        let per_design: usize = report.per_design().iter().map(|(_, s)| s.scenarios).sum();
+        assert_eq!(per_design, report.scenario_count());
+    }
+}

@@ -1,0 +1,616 @@
+//! Randomized conformance scenarios: a sampled platform (mesh, flow set,
+//! design, message size) plus the machine-checked invariants tying the
+//! cycle-accurate simulator to the analytic WCTT bounds.
+//!
+//! Each scenario runs the simulator under the *closed-loop probing*
+//! discipline ([`wnoc_sim::Simulation::run_closed_loop`]) and asserts, per
+//! flow:
+//!
+//! * **dominance** — the worst observed traversal latency never exceeds the
+//!   bound of any analysis that claims observation safety
+//!   ([`WcttBoundModel::dominates_observation`]);
+//! * **cross-analysis ordering** — the slot-model bottleneck envelope sits
+//!   below the primary bound, and the UBD packetization composition sits
+//!   between the single-flit bound and the naive sum of per-packet bounds.
+//!
+//! Scenario sampling is fully determined by `(campaign_seed, index)` through
+//! `rand_chacha`, so any failure reproduces from two integers.
+
+use serde::{Deserialize, Serialize};
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+use wnoc_core::analysis::oracle::{oracle_suite, WcttBoundModel};
+use wnoc_core::flow::{FlowId, FlowSet};
+use wnoc_core::{Coord, Mesh, NocConfig, NodeId, Result};
+use wnoc_sim::{LatencyStats, SaturatedReport, Simulation};
+use wnoc_workloads::Placement;
+
+/// The NoC design a scenario runs under.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DesignChoice {
+    /// Baseline round-robin mesh with maximum packet size `L`.
+    Regular {
+        /// Maximum packet size in flits (the paper's `L`).
+        max_packet_flits: u32,
+    },
+    /// The proposed WaW + WaP design.
+    WawWap,
+}
+
+impl DesignChoice {
+    /// The concrete configuration.
+    pub fn config(&self) -> NocConfig {
+        match *self {
+            DesignChoice::Regular { max_packet_flits } => NocConfig::regular(max_packet_flits),
+            DesignChoice::WawWap => NocConfig::waw_wap(),
+        }
+    }
+
+    /// Human-readable label (matches [`NocConfig::label`]).
+    pub fn label(&self) -> String {
+        self.config().label()
+    }
+}
+
+/// The flow-set family of a scenario, with its sampled parameters baked in so
+/// the scenario is self-contained and serializable.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ScenarioFamily {
+    /// Every node sends to one hotspot (the paper's memory-controller
+    /// scenario, with a randomized hotspot position).
+    AllToOne {
+        /// Hotspot destination.
+        hotspot: Coord,
+    },
+    /// One source broadcasts to every other node.
+    OneToAll {
+        /// Broadcast source.
+        source: Coord,
+    },
+    /// Request/response flows between every node and a few endpoint nodes
+    /// (randomized memory-controller placements).
+    Endpoints {
+        /// Endpoint (memory controller) positions.
+        memories: Vec<Coord>,
+    },
+    /// An explicit randomized set of (source, destination) pairs.
+    RandomPairs {
+        /// The sampled pairs (distinct, deduplicated).
+        pairs: Vec<(NodeId, NodeId)>,
+    },
+    /// One of the paper's 16-thread placements (`wnoc-workloads`), with
+    /// request/response flows between every placed core and the memory
+    /// controller at `R(0,0)` (8×8 mesh only).
+    Placement {
+        /// Placement name (`"P0"` … `"P3"`).
+        name: String,
+        /// Memory controller position.
+        memory: Coord,
+        /// The placed cores.
+        cores: Vec<Coord>,
+    },
+}
+
+impl ScenarioFamily {
+    /// Short label for reports.
+    pub fn label(&self) -> String {
+        match self {
+            ScenarioFamily::AllToOne { hotspot } => format!("all-to-one({hotspot})"),
+            ScenarioFamily::OneToAll { source } => format!("one-to-all({source})"),
+            ScenarioFamily::Endpoints { memories } => format!("endpoints(x{})", memories.len()),
+            ScenarioFamily::RandomPairs { pairs } => format!("random-pairs(x{})", pairs.len()),
+            ScenarioFamily::Placement { name, .. } => format!("placement({name})"),
+        }
+    }
+
+    /// Builds the concrete flow set over `mesh`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if a sampled coordinate lies outside the mesh (cannot
+    /// happen for generator-produced scenarios).
+    pub fn flow_set(&self, mesh: &Mesh) -> Result<FlowSet> {
+        match self {
+            ScenarioFamily::AllToOne { hotspot } => FlowSet::all_to_one(mesh, *hotspot),
+            ScenarioFamily::OneToAll { source } => FlowSet::one_to_all(mesh, *source),
+            ScenarioFamily::Endpoints { memories } => {
+                FlowSet::to_and_from_endpoints(mesh, memories)
+            }
+            ScenarioFamily::RandomPairs { pairs } => FlowSet::from_pairs(mesh, pairs.clone()),
+            ScenarioFamily::Placement { memory, cores, .. } => {
+                let memory_id = mesh.node_id(*memory)?;
+                let mut pairs = Vec::with_capacity(2 * cores.len());
+                for &core in cores {
+                    let core_id = mesh.node_id(core)?;
+                    pairs.push((core_id, memory_id));
+                    pairs.push((memory_id, core_id));
+                }
+                FlowSet::from_pairs(mesh, pairs)
+            }
+        }
+    }
+}
+
+/// One sampled conformance scenario.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Scenario {
+    /// Position in the campaign (also the replay key together with `seed`).
+    pub index: usize,
+    /// The campaign seed this scenario was derived from.
+    pub seed: u64,
+    /// Mesh side (2–12).
+    pub side: u16,
+    /// Flow-set family.
+    pub family: ScenarioFamily,
+    /// NoC design.
+    pub design: DesignChoice,
+    /// Message size offered by every probe, in regular-packetization flits.
+    pub message_flits: u32,
+    /// Closed-loop probing cycles.
+    pub cycles: u64,
+}
+
+/// One dominance violation: an observation above an analysis' bound.  An
+/// empty violation list is the conformance verdict the harness exists to
+/// check.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Violation {
+    /// The violating flow.
+    pub flow: FlowId,
+    /// Name of the analysis whose bound was exceeded.
+    pub oracle: String,
+    /// Worst observed traversal latency.
+    pub observed: u64,
+    /// The analytic bound that should have dominated it.
+    pub bound: u64,
+}
+
+/// Summary of per-flow tightness ratios (`observed_max / primary_bound`).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TightnessSummary {
+    /// Flows with at least one observation.
+    pub flows: usize,
+    /// Mean ratio over observed flows (0 when no flow was observed).
+    pub mean: f64,
+    /// Smallest ratio (loosest bound).
+    pub min: f64,
+    /// Largest ratio (tightest — must stay ≤ 1 for a safe bound).
+    pub max: f64,
+}
+
+impl TightnessSummary {
+    fn from_ratios(ratios: &[f64]) -> Self {
+        if ratios.is_empty() {
+            return Self {
+                flows: 0,
+                mean: 0.0,
+                min: 0.0,
+                max: 0.0,
+            };
+        }
+        let sum: f64 = ratios.iter().sum();
+        Self {
+            flows: ratios.len(),
+            mean: sum / ratios.len() as f64,
+            min: ratios.iter().copied().fold(f64::INFINITY, f64::min),
+            max: ratios.iter().copied().fold(0.0, f64::max),
+        }
+    }
+}
+
+/// The result of running one scenario.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioOutcome {
+    /// The scenario that produced this outcome.
+    pub scenario: Scenario,
+    /// Flows in the sampled flow set.
+    pub flow_count: usize,
+    /// Messages observed during the run (all flows together).
+    pub observed: LatencyStats,
+    /// Whether observation dominance was asserted.  `false` only for WaW
+    /// scenarios whose flow set is not output-consistent
+    /// ([`FlowSet::is_output_consistent`]): FIFO head-of-line divergence puts
+    /// such platforms outside what the weighted analysis models, so those
+    /// scenarios carry the analytic ordering checks only.
+    pub dominance_checked: bool,
+    /// Dominance violations (observation above a safe bound).  Empty on pass.
+    pub violations: Vec<Violation>,
+    /// Cross-analysis ordering violations, as human-readable descriptions.
+    /// Empty on pass.
+    pub ordering_violations: Vec<String>,
+    /// Tightness of the primary bound against the observations (empty when
+    /// dominance was not checked).
+    pub tightness: TightnessSummary,
+}
+
+impl ScenarioOutcome {
+    /// `true` when every invariant held.
+    pub fn passed(&self) -> bool {
+        self.violations.is_empty() && self.ordering_violations.is_empty()
+    }
+}
+
+impl Scenario {
+    /// Deterministically samples scenario `index` of the campaign with seed
+    /// `campaign_seed`.  The scenario space covers mesh sides 2–12, five flow
+    /// families (including the paper's thread placements), the regular design
+    /// with `L ∈ {1, 2, 4, 8}` and WaW + WaP, and message sizes from 1 flit up
+    /// to two maximum packets (multi-packet messages).
+    ///
+    /// WaW + WaP scenarios always probe single slices: that is the quantity
+    /// the paper's per-packet WCTT analysis bounds (multi-slice pipelining is
+    /// covered by the analytic ordering checks instead — see
+    /// [`wnoc_core::analysis::oracle`]).
+    pub fn sample(index: usize, campaign_seed: u64) -> Self {
+        let stream = campaign_seed ^ (index as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let mut rng = ChaCha8Rng::seed_from_u64(stream);
+
+        let family_roll = rng.gen_range(0u32..8);
+        // The paper placements are defined on the 8×8 mesh; every other
+        // family samples its side freely.
+        let side: u16 = if family_roll == 7 {
+            8
+        } else {
+            rng.gen_range(2u16..=12)
+        };
+        let mesh = Mesh::square(side).expect("side in 2..=12");
+        let random_coord =
+            |rng: &mut ChaCha8Rng| Coord::new(rng.gen_range(0..side), rng.gen_range(0..side));
+
+        let family = match family_roll {
+            // All-to-one is the paper's evaluation scenario; keep it the most
+            // frequent family.
+            0..=2 => ScenarioFamily::AllToOne {
+                hotspot: random_coord(&mut rng),
+            },
+            3 => ScenarioFamily::OneToAll {
+                source: random_coord(&mut rng),
+            },
+            4 => {
+                let count = rng.gen_range(1usize..=2);
+                let mut memories = vec![random_coord(&mut rng)];
+                while memories.len() < count {
+                    let extra = random_coord(&mut rng);
+                    if !memories.contains(&extra) {
+                        memories.push(extra);
+                    }
+                }
+                ScenarioFamily::Endpoints { memories }
+            }
+            5 | 6 => {
+                let nodes = usize::from(side) * usize::from(side);
+                let want = rng.gen_range(2usize..=(3 * usize::from(side)).min(24));
+                let mut pairs = Vec::new();
+                // Rejection-sample distinct pairs; bounded attempts keep the
+                // generator total even on tiny meshes.
+                for _ in 0..(8 * want) {
+                    if pairs.len() >= want {
+                        break;
+                    }
+                    let src = NodeId(rng.gen_range(0..nodes));
+                    let dst = NodeId(rng.gen_range(0..nodes));
+                    if src != dst && !pairs.contains(&(src, dst)) {
+                        pairs.push((src, dst));
+                    }
+                }
+                ScenarioFamily::RandomPairs { pairs }
+            }
+            _ => {
+                let memory = Coord::from_row_col(0, 0);
+                let set = Placement::paper_set(&mesh, memory).expect("paper placements on 8x8");
+                let placement = &set[rng.gen_range(0usize..set.len())];
+                ScenarioFamily::Placement {
+                    name: placement.name().to_string(),
+                    memory,
+                    cores: placement.cores().to_vec(),
+                }
+            }
+        };
+
+        let design = match rng.gen_range(0u32..6) {
+            0 | 1 => DesignChoice::WawWap,
+            2 => DesignChoice::Regular {
+                max_packet_flits: 1,
+            },
+            3 => DesignChoice::Regular {
+                max_packet_flits: 2,
+            },
+            4 => DesignChoice::Regular {
+                max_packet_flits: 4,
+            },
+            _ => DesignChoice::Regular {
+                max_packet_flits: 8,
+            },
+        };
+
+        let message_flits = match design {
+            // Single slices: the per-packet quantity the WaW+WaP analysis
+            // bounds (see the type-level docs).
+            DesignChoice::WawWap => 1,
+            DesignChoice::Regular { max_packet_flits } => match rng.gen_range(0u32..4) {
+                0 => 1,
+                1 => max_packet_flits,
+                // Up to two maximum packets: exercises the multi-packet
+                // message composition.
+                _ => rng.gen_range(1..=2 * max_packet_flits),
+            },
+        };
+
+        let flow_count = family.flow_set(&mesh).map(|f| f.len() as u64).unwrap_or(0);
+        // Enough probes per flow to squeeze the observations towards the
+        // bound, scaled by platform size and capped to keep campaigns brisk.
+        let cycles = (1_000 + 30 * flow_count * u64::from(message_flits).min(4)).min(12_000);
+
+        Self {
+            index,
+            seed: campaign_seed,
+            side,
+            family,
+            design,
+            message_flits,
+            cycles,
+        }
+    }
+
+    /// One-line description for logs and reports.
+    pub fn label(&self) -> String {
+        format!(
+            "#{} {}x{} {} {} mf={}",
+            self.index,
+            self.side,
+            self.side,
+            self.family.label(),
+            self.design.label(),
+            self.message_flits
+        )
+    }
+
+    /// Runs the scenario: closed-loop simulation plus every analytic check.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the sampled platform is invalid (generator bugs
+    /// only — sampled scenarios are valid by construction).
+    pub fn run(&self) -> Result<ScenarioOutcome> {
+        let mesh = Mesh::square(self.side)?;
+        let flows = self.family.flow_set(&mesh)?;
+        let config = self.design.config();
+
+        let mut sim = Simulation::new(&mesh, config, &flows)?;
+        let report = sim.run_closed_loop(&flows, self.message_flits, self.cycles)?;
+
+        let mut suite = oracle_suite(&flows, &config)?;
+        // The weighted analysis only models platforms where flows sharing an
+        // input buffer never diverge (the paper's single-destination
+        // evaluation); elsewhere FIFO head-of-line blocking imports delay
+        // from off-route ports and no per-route bound applies.  The
+        // chained-blocking analysis of the regular mesh models divergence
+        // explicitly, so round-robin scenarios are always checked.
+        let dominance_checked = match self.design {
+            DesignChoice::Regular { .. } => true,
+            DesignChoice::WawWap => flows.is_output_consistent(),
+        };
+        let (violations, tightness) = if dominance_checked {
+            self.check_dominance(&flows, &report, &mut suite)
+        } else {
+            (Vec::new(), Vec::new())
+        };
+        let ordering_violations = self.check_ordering(&flows, &mut suite);
+
+        Ok(ScenarioOutcome {
+            scenario: self.clone(),
+            flow_count: flows.len(),
+            observed: report.overall(),
+            dominance_checked,
+            violations,
+            ordering_violations,
+            tightness: TightnessSummary::from_ratios(&tightness),
+        })
+    }
+
+    /// Dominance: every observation-safe analysis must bound every flow's
+    /// worst observed traversal.  Returns the violations plus the per-flow
+    /// tightness ratios against the primary (first) analysis.
+    fn check_dominance(
+        &self,
+        flows: &FlowSet,
+        report: &SaturatedReport,
+        suite: &mut [Box<dyn WcttBoundModel>],
+    ) -> (Vec<Violation>, Vec<f64>) {
+        let mut violations = Vec::new();
+        let mut ratios = Vec::new();
+        for (flow, observed) in report.per_flow_max() {
+            if flows.route(flow).is_none() {
+                // Stats can contain ids the network registered on demand;
+                // conformance only judges the statically analysed flows.
+                continue;
+            }
+            for (position, oracle) in suite.iter_mut().enumerate() {
+                if !oracle.dominates_observation() {
+                    continue;
+                }
+                let Some(bound) = oracle.message_bound(flow, self.message_flits) else {
+                    continue;
+                };
+                if position == 0 && bound > 0 {
+                    ratios.push(observed as f64 / bound as f64);
+                }
+                if observed > bound {
+                    violations.push(Violation {
+                        flow,
+                        oracle: oracle.name().to_string(),
+                        observed,
+                        bound,
+                    });
+                }
+            }
+        }
+        (violations, ratios)
+    }
+
+    /// Cross-analysis ordering, for every flow:
+    ///
+    /// * `slot ≤ reference` — the bottleneck-port envelope sits below the
+    ///   full-route bound (`reference` is the paper-flavour model: `regular`
+    ///   under round robin, `weighted` under WaW);
+    /// * `reference ≤ primary` — the dominance bound can only strengthen the
+    ///   paper bound (trivial equality under round robin, paper ≤
+    ///   backpressured under WaW);
+    /// * `packet(1) ≤ ubd ≤ packets × packet(L)` — the UBD packetization
+    ///   composition lies between one minimal packet and the naive
+    ///   per-packet sum.
+    fn check_ordering(
+        &self,
+        flows: &FlowSet,
+        suite: &mut [Box<dyn WcttBoundModel>],
+    ) -> Vec<String> {
+        let mut failures = Vec::new();
+        let position = |suite: &[Box<dyn WcttBoundModel>], name: &str| {
+            suite.iter().position(|o| o.name() == name)
+        };
+        let Some(ubd_at) = position(suite, "ubd") else {
+            return vec!["oracle suite lacks the ubd analysis".to_string()];
+        };
+        let Some(slot_at) = position(suite, "slot") else {
+            return vec!["oracle suite lacks the slot analysis".to_string()];
+        };
+        // The paper-flavour reference the envelope and UBD compose against.
+        let reference_at = position(suite, "regular")
+            .or_else(|| position(suite, "weighted"))
+            .unwrap_or(0);
+
+        let max_packet = self
+            .design
+            .config()
+            .packetization
+            .worst_case_contender_flits();
+        let naive_packets = u64::from(self.message_flits.div_ceil(max_packet).max(1)) + 1;
+        for index in 0..flows.len() {
+            let flow = FlowId(index);
+            let (Some(reference_msg), Some(reference_single), Some(reference_packet)) = (
+                suite[reference_at].message_bound(flow, self.message_flits),
+                suite[reference_at].packet_bound(flow, 1),
+                suite[reference_at].packet_bound(flow, max_packet),
+            ) else {
+                continue;
+            };
+            if let Some(envelope) = suite[slot_at].message_bound(flow, self.message_flits) {
+                if envelope > reference_msg {
+                    failures.push(format!(
+                        "{flow}: slot envelope {envelope} above reference bound {reference_msg}"
+                    ));
+                }
+            }
+            if let Some(primary_msg) = suite[0].message_bound(flow, self.message_flits) {
+                if reference_msg > primary_msg {
+                    failures.push(format!(
+                        "{flow}: reference bound {reference_msg} above primary bound \
+                         {primary_msg}"
+                    ));
+                }
+            }
+            if let Some(composed) = suite[ubd_at].message_bound(flow, self.message_flits) {
+                if composed < reference_single {
+                    failures.push(format!(
+                        "{flow}: ubd composition {composed} below single-packet bound \
+                         {reference_single}"
+                    ));
+                }
+                // The +1 packet of `naive_packets` absorbs the WaP control
+                // slice; the pipelined composition must never exceed the
+                // naive per-packet sum.
+                if composed > naive_packets * reference_packet {
+                    failures.push(format!(
+                        "{flow}: ubd composition {composed} above naive sum \
+                         {naive_packets}x{reference_packet}"
+                    ));
+                }
+            }
+        }
+        failures
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sampling_is_deterministic_in_index_and_seed() {
+        for index in [0usize, 3, 17] {
+            assert_eq!(Scenario::sample(index, 7), Scenario::sample(index, 7));
+        }
+        assert_ne!(Scenario::sample(0, 7), Scenario::sample(0, 8));
+        assert_ne!(Scenario::sample(0, 7), Scenario::sample(1, 7));
+    }
+
+    #[test]
+    fn sampled_scenarios_are_valid_platforms() {
+        for index in 0..40 {
+            let scenario = Scenario::sample(index, 1234);
+            assert!((2..=12).contains(&scenario.side), "{}", scenario.label());
+            assert!(scenario.message_flits >= 1);
+            assert!(scenario.cycles >= 1_000);
+            let mesh = Mesh::square(scenario.side).unwrap();
+            let flows = scenario.family.flow_set(&mesh).unwrap();
+            assert!(!flows.is_empty(), "{}", scenario.label());
+        }
+    }
+
+    #[test]
+    fn placements_always_sample_the_8x8_mesh() {
+        let mut seen = 0;
+        for index in 0..120 {
+            let scenario = Scenario::sample(index, 99);
+            if let ScenarioFamily::Placement { cores, .. } = &scenario.family {
+                assert_eq!(scenario.side, 8);
+                assert_eq!(cores.len(), 16);
+                seen += 1;
+            }
+        }
+        assert!(seen > 0, "placement family never sampled");
+    }
+
+    #[test]
+    fn waw_scenarios_probe_single_slices() {
+        for index in 0..60 {
+            let scenario = Scenario::sample(index, 5);
+            if scenario.design == DesignChoice::WawWap {
+                assert_eq!(scenario.message_flits, 1);
+            }
+        }
+    }
+
+    #[test]
+    fn a_small_scenario_passes_end_to_end() {
+        // Pin a tiny scenario rather than relying on the sampler.
+        let scenario = Scenario {
+            index: 0,
+            seed: 0,
+            side: 3,
+            family: ScenarioFamily::AllToOne {
+                hotspot: Coord::from_row_col(0, 0),
+            },
+            design: DesignChoice::Regular {
+                max_packet_flits: 2,
+            },
+            message_flits: 3,
+            cycles: 1_500,
+        };
+        let outcome = scenario.run().unwrap();
+        assert!(outcome.passed(), "{:?}", outcome.violations);
+        assert_eq!(outcome.flow_count, 8);
+        assert_eq!(outcome.tightness.flows, 8);
+        assert!(outcome.tightness.max <= 1.0);
+        assert!(outcome.tightness.mean > 0.0);
+        assert!(outcome.observed.count > 0);
+    }
+
+    #[test]
+    fn scenario_runs_reproduce() {
+        let scenario = Scenario::sample(4, 42);
+        assert_eq!(scenario.run().unwrap(), scenario.run().unwrap());
+    }
+}

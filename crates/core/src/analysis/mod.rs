@@ -21,13 +21,22 @@
 //! (`3·L + S` vs `3·m + m`), [`table`] assembles whole-mesh WCTT tables
 //! (Table II) and [`ubd`] computes the upper-bound delays used by the WCET
 //! computation mode (Tables III and the Figure 2 experiments).
+//!
+//! [`oracle`] exposes all four analyses behind one [`oracle::WcttBoundModel`]
+//! trait object so the conformance harness (`wnoc-conformance`) can
+//! cross-validate the cycle-accurate simulator against every bound uniformly.
 
+pub mod oracle;
 pub mod regular;
 pub mod slot;
 pub mod table;
 pub mod ubd;
 pub mod weighted;
 
+pub use oracle::{
+    oracle_suite, primary_oracle, RegularOracle, SlotOracle, UbdOracle, WcttBoundModel,
+    WeightedFlavor, WeightedOracle,
+};
 pub use regular::RegularWcttModel;
 pub use table::{WcttSummary, WcttTable, WcttTableRow};
 pub use ubd::UpperBoundDelay;

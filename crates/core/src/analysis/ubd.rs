@@ -17,7 +17,6 @@ use crate::config::NocConfig;
 use crate::error::{Error, Result};
 use crate::flow::FlowSet;
 use crate::geometry::Coord;
-use crate::packetization::PacketizationPolicy;
 use crate::routing::{Route, RoutingAlgorithm, XyRouting};
 use crate::weights::WeightTable;
 
@@ -140,28 +139,18 @@ impl UbdModel {
     /// Number of packets an `message_flits`-flit message occupies on the wire
     /// under the active packetization policy, together with their sizes.
     fn packets_for(&self, message_flits: u32) -> Vec<u32> {
-        match self.config.packetization {
-            PacketizationPolicy::Regular { max_packet_flits } => {
-                let mut sizes = Vec::new();
-                let mut remaining = message_flits;
-                while remaining > 0 {
-                    let take = remaining.min(max_packet_flits);
-                    sizes.push(take);
-                    remaining -= take;
-                }
-                sizes
-            }
-            PacketizationPolicy::Wap { min_packet_flits } => {
-                let payload_bits = (message_flits * self.config.geometry.link_width_bits)
-                    .saturating_sub(self.config.geometry.control_bits);
-                let slices = self.config.geometry.wap_slices(payload_bits);
-                vec![min_packet_flits; slices as usize]
-            }
-        }
+        self.config
+            .packetization
+            .split_message(message_flits, self.config.geometry)
     }
 
-    /// WCTT bound for one `message_flits`-flit message following `route`.
-    fn message_bound(&mut self, route: &Route, message_flits: u32) -> u64 {
+    /// WCTT bound for one `message_flits`-flit message following `route`: the
+    /// message is split according to the active packetization policy and the
+    /// packets are composed through the design's WCTT model.  This is the
+    /// one-way building block of [`UbdModel::core_ubd`], exposed so the
+    /// conformance oracle ([`crate::analysis::oracle::UbdOracle`]) can query
+    /// per-flow bounds directly.
+    pub fn route_message_bound(&mut self, route: &Route, message_flits: u32) -> u64 {
         let packets = self.packets_for(message_flits);
         match (&mut self.regular, &self.weighted) {
             (Some(model), _) => model.message_wctt(route, &packets),
@@ -193,8 +182,8 @@ impl UbdModel {
         let request_route = XyRouting.route(&mesh, core, memory)?;
         let response_route = XyRouting.route(&mesh, memory, core)?;
         Ok(UpperBoundDelay {
-            request: self.message_bound(&request_route, sizes.request_flits),
-            response: self.message_bound(&response_route, sizes.response_flits),
+            request: self.route_message_bound(&request_route, sizes.request_flits),
+            response: self.route_message_bound(&response_route, sizes.response_flits),
         })
     }
 

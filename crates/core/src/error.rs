@@ -53,6 +53,13 @@ pub enum Error {
         /// Human-readable description of the offending parameter.
         reason: String,
     },
+    /// A simulation failed to drain its in-flight traffic within its cycle
+    /// budget — a deadlock or livelock, the worst failure a conformance
+    /// run can encounter.
+    SimulationStalled {
+        /// Cycles granted for draining before giving up.
+        drain_limit: u64,
+    },
 }
 
 impl fmt::Display for Error {
@@ -77,6 +84,10 @@ impl fmt::Display for Error {
             }
             Error::EmptyMessage => write!(f, "message payload must contain at least one flit"),
             Error::InvalidConfig { reason } => write!(f, "invalid configuration: {reason}"),
+            Error::SimulationStalled { drain_limit } => write!(
+                f,
+                "simulation failed to drain within {drain_limit} cycles (possible deadlock)"
+            ),
         }
     }
 }
@@ -112,6 +123,7 @@ mod tests {
             Error::InvalidConfig {
                 reason: "link width must be non-zero".to_string(),
             },
+            Error::SimulationStalled { drain_limit: 1000 },
         ];
         for e in errors {
             let text = e.to_string();

@@ -271,6 +271,37 @@ impl FlowSet {
         self.flows_through_output(router, Port::Mesh(dir))
     }
 
+    /// Returns `true` if every `(router, input)` port used by the set is used
+    /// towards a **single** output port — i.e. flows sharing an input buffer
+    /// never diverge.
+    ///
+    /// This is the platform class the WaW per-flow analysis is justified for
+    /// (the paper's evaluation platform — every node to one memory controller
+    /// — satisfies it by construction of XY routing): with FIFO input
+    /// buffers, divergent flows inherit head-of-line blocking from output
+    /// ports that are not on their own route, which no per-route bound can
+    /// cover.  The conformance harness checks WaW + WaP dominance only on
+    /// output-consistent flow sets and downgrades the analysis to
+    /// ordering-only elsewhere.
+    pub fn is_output_consistent(&self) -> bool {
+        let mut seen: HashMap<(Coord, Port), Port> = HashMap::new();
+        for route in &self.routes {
+            for hop in route.hops() {
+                match seen.entry((hop.router, hop.input)) {
+                    std::collections::hash_map::Entry::Vacant(entry) => {
+                        entry.insert(hop.output);
+                    }
+                    std::collections::hash_map::Entry::Occupied(entry) => {
+                        if *entry.get() != hop.output {
+                            return false;
+                        }
+                    }
+                }
+            }
+        }
+        true
+    }
+
     /// For every router, the number of flows per output port, as a map.  Useful
     /// for utilisation and bottleneck reporting.
     pub fn output_count_map(&self) -> HashMap<(Coord, Port), usize> {
@@ -547,6 +578,30 @@ mod tests {
                 assert_eq!(total, fs.output_count(router, output));
             }
         }
+    }
+
+    #[test]
+    fn output_consistency_of_the_standard_families() {
+        let mesh = Mesh::square(5).unwrap();
+        // Single-destination funnels never diverge.
+        for dst in [Coord::new(0, 0), Coord::new(2, 3), Coord::new(4, 4)] {
+            assert!(FlowSet::all_to_one(&mesh, dst)
+                .unwrap()
+                .is_output_consistent());
+        }
+        // A broadcast source diverges immediately at its local input port.
+        assert!(!FlowSet::one_to_all(&mesh, Coord::new(0, 0))
+            .unwrap()
+            .is_output_consistent());
+        // Request/response endpoint platforms diverge along the response
+        // distribution tree.
+        assert!(!FlowSet::to_and_from_endpoints(&mesh, &[Coord::new(0, 0)])
+            .unwrap()
+            .is_output_consistent());
+        // The empty set is trivially consistent.
+        assert!(FlowSet::from_pairs(&mesh, Vec::new())
+            .unwrap()
+            .is_output_consistent());
     }
 
     #[test]

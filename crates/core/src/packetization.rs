@@ -133,6 +133,36 @@ impl PacketizationPolicy {
         matches!(self, PacketizationPolicy::Wap { .. })
     }
 
+    /// Sizes of the wire packets a `message_flits`-flit message occupies
+    /// under this policy: greedy maximum-size packets under regular
+    /// packetization, `geometry.wap_slices` minimum-size slices (payload plus
+    /// per-slice control overhead) under WaP.
+    ///
+    /// This is the single source of truth shared by the UBD composition
+    /// ([`crate::analysis::ubd::UbdModel`]) and the conformance oracles
+    /// ([`crate::analysis::oracle`]).
+    pub fn split_message(&self, message_flits: u32, geometry: PhitGeometry) -> Vec<u32> {
+        match *self {
+            PacketizationPolicy::Regular { max_packet_flits } => {
+                let take_at_most = max_packet_flits.max(1);
+                let mut sizes = Vec::new();
+                let mut remaining = message_flits;
+                while remaining > 0 {
+                    let take = remaining.min(take_at_most);
+                    sizes.push(take);
+                    remaining -= take;
+                }
+                sizes
+            }
+            PacketizationPolicy::Wap { min_packet_flits } => {
+                let payload_bits = (message_flits * geometry.link_width_bits)
+                    .saturating_sub(geometry.control_bits);
+                let slices = geometry.wap_slices(payload_bits).max(1);
+                vec![min_packet_flits; slices as usize]
+            }
+        }
+    }
+
     /// Validates the policy parameters.
     ///
     /// # Errors
@@ -290,6 +320,22 @@ fn div_ceil(a: u32, b: u32) -> u32 {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn split_message_covers_both_policies() {
+        let geometry = PhitGeometry::PAPER;
+        let regular = PacketizationPolicy::Regular {
+            max_packet_flits: 4,
+        };
+        assert_eq!(regular.split_message(4, geometry), vec![4]);
+        assert_eq!(regular.split_message(10, geometry), vec![4, 4, 2]);
+        assert_eq!(regular.split_message(1, geometry), vec![1]);
+
+        let wap = PacketizationPolicy::wap();
+        // A 4-flit cache line becomes 5 single-flit slices (control overhead).
+        assert_eq!(wap.split_message(4, geometry), vec![1, 1, 1, 1, 1]);
+        assert_eq!(wap.split_message(1, geometry), vec![1]);
+    }
 
     fn msg(flits: u32) -> MessageDescriptor {
         MessageDescriptor {

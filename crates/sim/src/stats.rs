@@ -204,6 +204,58 @@ mod tests {
     }
 
     #[test]
+    fn merge_is_commutative_and_associative() {
+        // The parallel campaign runner folds per-scenario summaries in
+        // whatever order workers finish; the fold must not care.
+        let samples: [&[u64]; 4] = [&[3, 9], &[], &[100], &[7, 7, 2]];
+        let stats: Vec<LatencyStats> = samples
+            .iter()
+            .map(|s| {
+                let mut l = LatencyStats::new();
+                for &v in *s {
+                    l.record(v);
+                }
+                l
+            })
+            .collect();
+
+        // Commutativity: a ⊕ b == b ⊕ a, for every pair.
+        for a in &stats {
+            for b in &stats {
+                let mut ab = *a;
+                ab.merge(b);
+                let mut ba = *b;
+                ba.merge(a);
+                assert_eq!(ab, ba);
+            }
+        }
+
+        // Associativity: (a ⊕ b) ⊕ c == a ⊕ (b ⊕ c), for every triple.
+        for a in &stats {
+            for b in &stats {
+                for c in &stats {
+                    let mut left = *a;
+                    left.merge(b);
+                    left.merge(c);
+                    let mut bc = *b;
+                    bc.merge(c);
+                    let mut right = *a;
+                    right.merge(&bc);
+                    assert_eq!(left, right);
+                }
+            }
+        }
+
+        // The empty summary is the identity element.
+        let empty = LatencyStats::new();
+        for a in &stats {
+            let mut merged = empty;
+            merged.merge(a);
+            assert_eq!(&merged, a);
+        }
+    }
+
+    #[test]
     fn network_stats_records_per_flow() {
         let mut stats = NetworkStats::new();
         stats.record_message(FlowId(0), 100, 80);

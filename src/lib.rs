@@ -12,7 +12,9 @@
 //! * [`manycore`] (`wnoc-manycore`) — the 64-core platform model (cores,
 //!   caches-as-traces, memory controller, WCET computation mode);
 //! * [`workloads`] (`wnoc-workloads`) — EEMBC-like traces, the 3DPP parallel
-//!   avionics application and the thread placements.
+//!   avionics application and the thread placements;
+//! * [`conformance`] (`wnoc-conformance`) — the randomized campaign harness
+//!   cross-validating the simulator against every analytic WCTT bound.
 //!
 //! # Quick start
 //!
@@ -30,6 +32,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub use wnoc_conformance as conformance;
 pub use wnoc_core as core;
 pub use wnoc_manycore as manycore;
 pub use wnoc_sim as sim;

@@ -1,4 +1,4 @@
-//! Facade-level integration tests: the `wnoc` crate must re-export all four
+//! Facade-level integration tests: the `wnoc` crate must re-export all five
 //! layers under stable paths, and the Table II quick-start from its crate docs
 //! must run end to end.
 
@@ -41,6 +41,13 @@ fn reexports_resolve_and_are_the_underlying_types() {
     let placements: Vec<wnoc::workloads::placement::Placement> =
         wnoc_workloads::placement::Placement::paper_set(&mesh8, hotspot).unwrap();
     assert!(!placements.is_empty());
+
+    // `wnoc::conformance` is `wnoc_conformance`: a one-scenario campaign
+    // runs through the facade and passes.
+    let campaign: wnoc::conformance::Campaign = wnoc_conformance::Campaign::new(7, 1);
+    let report: wnoc::conformance::ConformanceReport = campaign.run(1).unwrap();
+    assert!(report.passed());
+    assert_eq!(report.scenario_count(), 1);
 
     // The facade reports its version for experiment logs.
     assert!(!wnoc::VERSION.is_empty());
