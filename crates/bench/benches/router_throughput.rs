@@ -25,7 +25,7 @@ fn bench_network_step(c: &mut Criterion) {
             let flows = FlowSet::all_to_one(&mesh, hotspot).unwrap();
             b.iter_batched(
                 || {
-                    let mut network = Network::new(&mesh, config, &flows).unwrap();
+                    let mut network = Network::new(mesh, config, &flows).unwrap();
                     // Pre-load traffic so every step has work to do.
                     let dst = mesh.node_id(hotspot).unwrap();
                     for flow in flows.flows() {

@@ -50,9 +50,16 @@ fn main() {
     }
 
     let start = Instant::now();
-    let report = Campaign::new(seed, scenarios)
-        .run(threads)
-        .expect("conformance campaign");
+    let report = match Campaign::new(seed, scenarios).run(threads) {
+        Ok(report) => report,
+        Err(error) => {
+            // The error carries the failing scenario's label plus the full
+            // diagnostic (a stalled run reports its stuck cycle and
+            // buffered-flit count).
+            eprintln!("conformance campaign aborted: {error}");
+            std::process::exit(1);
+        }
+    };
     eprintln!(
         "campaign of {scenarios} scenarios took {:.2?} on {threads} thread(s)",
         start.elapsed()

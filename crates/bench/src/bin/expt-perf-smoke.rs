@@ -1,0 +1,141 @@
+//! Performance smoke test of the simulation kernel: runs a fixed-seed
+//! conformance campaign (closed-loop probing across the whole scenario
+//! space), measures end-to-end throughput in scenarios per second and the
+//! process' peak RSS, and writes the result as `BENCH_sim.json` so the bench
+//! trajectory accumulates comparable data points.
+//!
+//! Usage:
+//!
+//! ```text
+//! expt-perf-smoke [--scenarios N] [--seed S] [--threads T]
+//!                 [--out PATH] [--baseline PATH]
+//! ```
+//!
+//! Defaults: 50 scenarios, seed 7, one thread (thread count changes wall
+//! time, so comparable data points pin it), output `BENCH_sim.json`.  With
+//! `--baseline PATH` the run exits non-zero if throughput regressed more
+//! than 20% below the committed baseline's `scenarios_per_sec` — the CI
+//! `perf-smoke` job gates on this.  Baselines are tied to a hardware class;
+//! regenerate `perf/BENCH_sim.baseline.json` when the runner class changes,
+//! not to paper over a slowdown.
+
+use std::time::Instant;
+
+use wnoc_conformance::Campaign;
+
+/// Peak resident set size in kilobytes, from `/proc/self/status` (`VmHWM`).
+/// Returns 0 where procfs is unavailable (non-Linux).
+fn peak_rss_kb() -> u64 {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
+        return 0;
+    };
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix("VmHWM:") {
+            return rest
+                .trim()
+                .trim_end_matches("kB")
+                .trim()
+                .parse()
+                .unwrap_or(0);
+        }
+    }
+    0
+}
+
+/// Extracts a numeric field from the flat JSON this binary writes.
+fn json_number(json: &str, field: &str) -> Option<f64> {
+    let key = format!("\"{field}\":");
+    let start = json.find(&key)? + key.len();
+    let rest = json[start..].trim_start();
+    let end = rest
+        .find(|c: char| c != '-' && c != '.' && !c.is_ascii_digit())
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+fn main() {
+    let mut scenarios: usize = 50;
+    let mut seed: u64 = 7;
+    let mut threads: usize = 1;
+    let mut out = String::from("BENCH_sim.json");
+    let mut baseline: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = |flag: &str| {
+            args.next()
+                .unwrap_or_else(|| panic!("{flag} requires a value"))
+        };
+        match flag.as_str() {
+            "--scenarios" => {
+                scenarios = value("--scenarios")
+                    .parse()
+                    .expect("--scenarios takes a number");
+            }
+            "--seed" => seed = value("--seed").parse().expect("--seed takes a number"),
+            "--threads" => {
+                threads = value("--threads")
+                    .parse()
+                    .expect("--threads takes a number");
+            }
+            "--out" => out = value("--out"),
+            "--baseline" => baseline = Some(value("--baseline")),
+            unknown => {
+                eprintln!(
+                    "unknown argument {unknown}; usage: expt-perf-smoke [--scenarios N] \
+                     [--seed S] [--threads T] [--out PATH] [--baseline PATH]"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let campaign = Campaign::new(seed, scenarios);
+    let start = Instant::now();
+    let report = match campaign.run(threads) {
+        Ok(report) => report,
+        Err(error) => {
+            eprintln!("perf-smoke campaign aborted: {error}");
+            std::process::exit(1);
+        }
+    };
+    let elapsed = start.elapsed().as_secs_f64();
+    if !report.passed() {
+        eprintln!(
+            "perf-smoke campaign recorded violations:\n{}",
+            report.render()
+        );
+        std::process::exit(1);
+    }
+
+    let scenarios_per_sec = scenarios as f64 / elapsed.max(1e-9);
+    let rss = peak_rss_kb();
+    let json = format!(
+        "{{\n  \"scenarios\": {scenarios},\n  \"seed\": {seed},\n  \"threads\": {threads},\n  \
+         \"elapsed_seconds\": {elapsed:.3},\n  \"scenarios_per_sec\": {scenarios_per_sec:.2},\n  \
+         \"peak_rss_kb\": {rss}\n}}\n"
+    );
+    std::fs::write(&out, &json).unwrap_or_else(|e| panic!("cannot write {out}: {e}"));
+    println!(
+        "perf-smoke: {scenarios} scenarios, seed {seed}, {threads} thread(s): \
+         {scenarios_per_sec:.2} scenarios/sec, peak RSS {rss} kB -> {out}"
+    );
+
+    if let Some(path) = baseline {
+        let reference = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("cannot read baseline {path}: {e}"));
+        let reference_rate = json_number(&reference, "scenarios_per_sec")
+            .unwrap_or_else(|| panic!("baseline {path} lacks scenarios_per_sec"));
+        let floor = 0.8 * reference_rate;
+        println!(
+            "perf-smoke: baseline {reference_rate:.2} scenarios/sec \
+             (floor {floor:.2}) from {path}"
+        );
+        if scenarios_per_sec < floor {
+            eprintln!(
+                "perf-smoke: throughput regressed >20%: {scenarios_per_sec:.2} < \
+                 {floor:.2} scenarios/sec (baseline {reference_rate:.2})"
+            );
+            std::process::exit(1);
+        }
+    }
+}

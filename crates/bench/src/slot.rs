@@ -74,7 +74,7 @@ impl SlotModel {
                         )
                     }),
             )?;
-            let mut sim = Simulation::new(&mesh, config, &flows)?;
+            let mut sim = Simulation::new(mesh, config, &flows)?;
             let report = sim.run_saturated(&flows, 4, 1_000, 2_000)?;
             Ok(report.max())
         };

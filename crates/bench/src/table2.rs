@@ -66,7 +66,7 @@ impl Table2 {
             let mesh = Mesh::square(side)?;
             let hotspot = Coord::from_row_col(0, 0);
             let regular = Simulation::saturated_hotspot(
-                &mesh,
+                mesh,
                 NocConfig::regular(1),
                 hotspot,
                 1,
@@ -74,7 +74,7 @@ impl Table2 {
                 measure,
             )?;
             let proposed = Simulation::saturated_hotspot(
-                &mesh,
+                mesh,
                 NocConfig::waw_wap(),
                 hotspot,
                 1,

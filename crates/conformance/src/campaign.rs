@@ -68,7 +68,18 @@ impl Campaign {
                             let Some(scenario) = scenarios.get(index) else {
                                 return Ok(completed);
                             };
-                            completed.push((index, scenario.run()?));
+                            // A failing scenario aborts the campaign with the
+                            // first error, wrapped with the scenario label so
+                            // the full diagnostic (a stalled simulation
+                            // reports its stuck cycle and buffered-flit
+                            // count) carries *which* platform wedged.
+                            let outcome = scenario.run().map_err(|error| {
+                                error.with_context(format!(
+                                    "conformance scenario {}",
+                                    scenario.label()
+                                ))
+                            })?;
+                            completed.push((index, outcome));
                         }
                     })
                 })

@@ -378,7 +378,7 @@ impl Scenario {
         let flows = self.family.flow_set(&mesh)?;
         let config = self.design.config();
 
-        let mut sim = Simulation::new(&mesh, config, &flows)?;
+        let mut sim = Simulation::new(mesh, config, &flows)?;
         let report = sim.run_closed_loop(&flows, self.message_flits, self.cycles)?;
 
         let mut suite = oracle_suite(&flows, &config)?;

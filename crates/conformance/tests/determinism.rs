@@ -10,8 +10,8 @@ use wnoc_sim::{RandomTraffic, SaturatedReport, Simulation, TrafficPattern};
 fn traffic_run(pattern: TrafficPattern, seed: u64) -> SaturatedReport {
     let mesh = Mesh::square(4).unwrap();
     let flows = FlowSet::all_to_all(&mesh).unwrap();
-    let mut sim = Simulation::new(&mesh, NocConfig::waw_wap(), &flows).unwrap();
-    let mut traffic = RandomTraffic::new(&mesh, pattern, 0.08, 4, seed).unwrap();
+    let mut sim = Simulation::new(mesh, NocConfig::waw_wap(), &flows).unwrap();
+    let mut traffic = RandomTraffic::new(mesh, pattern, 0.08, 4, seed).unwrap();
     sim.run_traffic_report(&mut traffic, 600, 20_000).unwrap()
 }
 
@@ -45,7 +45,7 @@ fn closed_loop_probing_reproduces() {
     let mesh = Mesh::square(5).unwrap();
     let flows = FlowSet::all_to_one(&mesh, Coord::from_row_col(2, 2)).unwrap();
     let run = || {
-        let mut sim = Simulation::new(&mesh, NocConfig::regular(4), &flows).unwrap();
+        let mut sim = Simulation::new(mesh, NocConfig::regular(4), &flows).unwrap();
         sim.run_closed_loop(&flows, 4, 2_000).unwrap()
     };
     assert_eq!(run(), run());

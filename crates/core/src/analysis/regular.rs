@@ -87,7 +87,7 @@ impl RegularWcttModel {
     /// timing and maximum allowed packet size (`contender_flits`, the paper's
     /// `L`).
     pub fn new(flows: &FlowSet, timing: RouterTiming, contender_flits: u32) -> Self {
-        let mesh = flows.mesh().clone();
+        let mesh = *flows.mesh();
         let mut pair_flows = HashMap::new();
         for id in (0..flows.len()).map(crate::flow::FlowId) {
             if let Some(route) = flows.route(id) {

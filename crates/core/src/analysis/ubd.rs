@@ -172,7 +172,7 @@ impl UbdModel {
         memory: Coord,
         sizes: TransactionSizes,
     ) -> Result<UpperBoundDelay> {
-        let mesh = self.flows.mesh().clone();
+        let mesh = *self.flows.mesh();
         if !mesh.contains(core) || !mesh.contains(memory) {
             return Err(Error::InvalidRoute {
                 src: core,

@@ -51,6 +51,20 @@ pub trait PortArbiter: Send {
     /// empty request set may update internal credit state (idle replenishment).
     fn grant(&mut self, requests: &[Port]) -> Option<Port>;
 
+    /// Applies `cycles` consecutive idle cycles at once: the state after
+    /// `idle_for(k)` must equal the state after `k` calls of `grant(&[])`.
+    ///
+    /// The active-set simulator kernel skips routers that hold no flits, so
+    /// when such a router wakes up its arbiters catch up on the skipped idle
+    /// replenishment in O(1) through this hook instead of replaying every
+    /// cycle.  The default implementation replays `grant(&[])` and is always
+    /// correct; implementations override it with a closed form.
+    fn idle_for(&mut self, cycles: u64) {
+        for _ in 0..cycles {
+            self.grant(&[]);
+        }
+    }
+
     /// The policy implemented by this arbiter (for reporting).
     fn policy(&self) -> ArbitrationPolicy;
 }
@@ -97,6 +111,10 @@ impl PortArbiter for RoundRobinArbiter {
             }
         }
         None
+    }
+
+    fn idle_for(&mut self, _cycles: u64) {
+        // An idle grant leaves the rotation pointer untouched.
     }
 
     fn policy(&self) -> ArbitrationPolicy {
@@ -171,19 +189,35 @@ impl PortArbiter for WawArbiter {
             .map(|p| self.credits[p.index()])
             .max()
             .unwrap_or(0);
-        let tied: Vec<Port> = requests
-            .iter()
-            .copied()
-            .filter(|p| self.credits[p.index()] == max_credit)
-            .collect();
-        let winner = if tied.len() == 1 {
+        // Fixed-size tie set: `grant` sits on the simulator's per-cycle hot
+        // path and must not allocate.
+        let mut tied = [Port::Local; Port::COUNT];
+        let mut tied_len = 0;
+        for &port in requests {
+            if self.credits[port.index()] == max_credit {
+                tied[tied_len] = port;
+                tied_len += 1;
+            }
+        }
+        let winner = if tied_len == 1 {
             tied[0]
         } else {
-            self.tie_breaker.grant(&tied).expect("tie set is non-empty")
+            self.tie_breaker
+                .grant(&tied[..tied_len])
+                .expect("tie set is non-empty")
         };
         let idx = winner.index();
         self.credits[idx] = self.credits[idx].saturating_sub(1);
         Some(winner)
+    }
+
+    fn idle_for(&mut self, cycles: u64) {
+        // `k` idle cycles add `k` to every counter, saturating at its quota —
+        // the closed form of `k` calls of `grant(&[])`.
+        let bump = u32::try_from(cycles).unwrap_or(u32::MAX);
+        for i in 0..Port::COUNT {
+            self.credits[i] = self.quotas[i].min(self.credits[i].saturating_add(bump));
+        }
     }
 
     fn policy(&self) -> ArbitrationPolicy {
@@ -333,6 +367,74 @@ mod tests {
     fn waw_unlisted_port_can_still_win_alone() {
         let mut arb = WawArbiter::new(&[(WEST, 4)]);
         assert_eq!(arb.grant(&[EAST]), Some(EAST));
+    }
+
+    #[test]
+    fn idle_for_matches_repeated_idle_grants() {
+        // The O(1) catch-up must be indistinguishable from replaying the
+        // skipped cycles one by one, from any reachable credit state.
+        for drained_rounds in 0..6 {
+            for idle in [0u64, 1, 2, 3, 7, 1_000] {
+                let mut fast = WawArbiter::new(&[(WEST, 2), (NORTH, 5), (EAST, 1)]);
+                let mut slow = WawArbiter::new(&[(WEST, 2), (NORTH, 5), (EAST, 1)]);
+                for _ in 0..drained_rounds {
+                    fast.grant(&[WEST, NORTH, EAST]);
+                    slow.grant(&[WEST, NORTH, EAST]);
+                }
+                fast.idle_for(idle);
+                for _ in 0..idle {
+                    slow.grant(&[]);
+                }
+                for port in [WEST, NORTH, EAST] {
+                    assert_eq!(
+                        fast.credits(port),
+                        slow.credits(port),
+                        "{port:?} after {drained_rounds} rounds + {idle} idle"
+                    );
+                }
+                // Subsequent contended grants agree too (tie breaker state).
+                assert_eq!(
+                    fast.grant(&[WEST, NORTH]),
+                    slow.grant(&[WEST, NORTH]),
+                    "{drained_rounds} rounds + {idle} idle"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn round_robin_idle_for_is_a_no_op() {
+        let mut arb = RoundRobinArbiter::new();
+        arb.grant(&[NORTH]);
+        let mut replay = arb.clone();
+        arb.idle_for(1_000);
+        for _ in 0..1_000 {
+            replay.grant(&[]);
+        }
+        assert_eq!(arb.grant(&[WEST, NORTH]), replay.grant(&[WEST, NORTH]));
+    }
+
+    #[test]
+    fn default_idle_for_replays_grants() {
+        // A trait-object arbiter without an override still catches up
+        // correctly through the default implementation.
+        struct Probe {
+            idles: u64,
+        }
+        impl PortArbiter for Probe {
+            fn grant(&mut self, requests: &[Port]) -> Option<Port> {
+                if requests.is_empty() {
+                    self.idles += 1;
+                }
+                requests.first().copied()
+            }
+            fn policy(&self) -> ArbitrationPolicy {
+                ArbitrationPolicy::RoundRobin
+            }
+        }
+        let mut probe = Probe { idles: 0 };
+        PortArbiter::idle_for(&mut probe, 5);
+        assert_eq!(probe.idles, 5);
     }
 
     #[test]

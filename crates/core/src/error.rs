@@ -55,11 +55,38 @@ pub enum Error {
     },
     /// A simulation failed to drain its in-flight traffic within its cycle
     /// budget — a deadlock or livelock, the worst failure a conformance
-    /// run can encounter.
+    /// run can encounter.  The extra fields snapshot the stuck network so a
+    /// failure log pinpoints *where* traffic wedged, not just that it did.
     SimulationStalled {
         /// Cycles granted for draining before giving up.
         drain_limit: u64,
+        /// Simulation cycle at which the run gave up.
+        cycle: u64,
+        /// Flits still buffered, in flight or awaiting injection when the
+        /// run gave up.
+        buffered_flits: u64,
+        /// Routers still holding at least one flit when the run gave up.
+        stalled_routers: usize,
     },
+    /// A failure wrapped with the context it occurred in (e.g. the label of
+    /// the conformance scenario that was running), so batch runners can
+    /// propagate *where* an error happened without a logging side channel.
+    WithContext {
+        /// Human-readable description of what was being done.
+        context: String,
+        /// The underlying failure.
+        source: Box<Error>,
+    },
+}
+
+impl Error {
+    /// Wraps this error with a human-readable context string.
+    pub fn with_context(self, context: impl Into<String>) -> Self {
+        Error::WithContext {
+            context: context.into(),
+            source: Box::new(self),
+        }
+    }
 }
 
 impl fmt::Display for Error {
@@ -84,15 +111,30 @@ impl fmt::Display for Error {
             }
             Error::EmptyMessage => write!(f, "message payload must contain at least one flit"),
             Error::InvalidConfig { reason } => write!(f, "invalid configuration: {reason}"),
-            Error::SimulationStalled { drain_limit } => write!(
+            Error::SimulationStalled {
+                drain_limit,
+                cycle,
+                buffered_flits,
+                stalled_routers,
+            } => write!(
                 f,
-                "simulation failed to drain within {drain_limit} cycles (possible deadlock)"
+                "simulation stalled at cycle {cycle}: {buffered_flits} flits stuck across \
+                 {stalled_routers} routers after a drain budget of {drain_limit} cycles \
+                 (possible deadlock)"
             ),
+            Error::WithContext { context, source } => write!(f, "{context}: {source}"),
         }
     }
 }
 
-impl std::error::Error for Error {}
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::WithContext { source, .. } => Some(source.as_ref()),
+            _ => None,
+        }
+    }
+}
 
 #[cfg(test)]
 mod tests {
@@ -123,7 +165,13 @@ mod tests {
             Error::InvalidConfig {
                 reason: "link width must be non-zero".to_string(),
             },
-            Error::SimulationStalled { drain_limit: 1000 },
+            Error::SimulationStalled {
+                drain_limit: 1000,
+                cycle: 1234,
+                buffered_flits: 17,
+                stalled_routers: 3,
+            },
+            Error::EmptyMessage.with_context("scenario #4 3x3 all-to-one"),
         ];
         for e in errors {
             let text = e.to_string();
@@ -133,6 +181,32 @@ mod tests {
                 "error message ends with period: {text}"
             );
         }
+    }
+
+    #[test]
+    fn stall_display_carries_the_diagnostics() {
+        let text = Error::SimulationStalled {
+            drain_limit: 500,
+            cycle: 777,
+            buffered_flits: 42,
+            stalled_routers: 5,
+        }
+        .to_string();
+        assert!(text.contains("cycle 777"), "{text}");
+        assert!(text.contains("42 flits"), "{text}");
+        assert!(text.contains("5 routers"), "{text}");
+        assert!(text.contains("500 cycles"), "{text}");
+    }
+
+    #[test]
+    fn with_context_wraps_and_exposes_the_source() {
+        let wrapped = Error::EmptyMessage.with_context("scenario #7");
+        let text = wrapped.to_string();
+        assert!(text.starts_with("scenario #7: "), "{text}");
+        assert!(text.contains("at least one flit"), "{text}");
+        let source = std::error::Error::source(&wrapped).expect("source preserved");
+        assert_eq!(source.to_string(), Error::EmptyMessage.to_string());
+        assert!(std::error::Error::source(&Error::EmptyMessage).is_none());
     }
 
     #[test]

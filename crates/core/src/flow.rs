@@ -105,7 +105,7 @@ impl FlowSet {
             flows.push(flow);
         }
         Ok(Self {
-            mesh: mesh.clone(),
+            mesh: *mesh,
             flows,
             routes,
         })

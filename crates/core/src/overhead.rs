@@ -63,7 +63,7 @@ impl MeshOverhead {
     /// Computes the overhead of the design whose arbitration weights are given
     /// by `weights` (normally the all-to-all table baked into the hardware).
     pub fn from_weights(weights: &WeightTable) -> Self {
-        let mesh = weights.mesh().clone();
+        let mesh = *weights.mesh();
         let routers = mesh
             .routers()
             .map(|router| {

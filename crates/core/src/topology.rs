@@ -11,6 +11,9 @@ use crate::port::{Direction, Port};
 /// The mesh is the only topology considered by the paper; routers at the edges
 /// simply lack the ports that would face outside the mesh.
 ///
+/// A mesh is just its dimensions, so it is `Copy`: simulator components keep
+/// their own mesh by value instead of cloning behind a reference.
+///
 /// # Examples
 ///
 /// ```
@@ -21,7 +24,7 @@ use crate::port::{Direction, Port};
 /// assert_eq!(mesh.link_count(), 2 * 2 * 4 * 3); // bidirectional links
 /// # Ok::<(), wnoc_core::Error>(())
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Mesh {
     dims: MeshDims,
 }

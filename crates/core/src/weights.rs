@@ -71,7 +71,7 @@ pub struct WeightTable {
 impl WeightTable {
     /// Derives weights from a concrete flow set (each flow routed with XY).
     pub fn from_flow_set(flows: &FlowSet) -> Self {
-        let mesh = flows.mesh().clone();
+        let mesh = *flows.mesh();
         let mut quotas: HashMap<(Coord, Port, Port), u32> = HashMap::new();
         let mut outputs: HashMap<(Coord, Port), u32> = HashMap::new();
         // Single pass over every flow's route: each traversed hop contributes

@@ -14,7 +14,7 @@ use serde::{Deserialize, Serialize};
 
 use wnoc_core::flow::FlowSet;
 use wnoc_core::{Coord, Cycle, Error, Mesh, MessageId, NocConfig, NodeId, Result};
-use wnoc_sim::network::Network;
+use wnoc_sim::network::{Delivered, Network};
 
 use crate::cpu::{Core, CoreStats};
 use crate::memory::MemoryController;
@@ -107,6 +107,8 @@ pub struct ManycoreSystem {
     ubd_completions: HashMap<NodeId, Cycle>,
     /// WCET computation mode only: the analytical bound provider.
     estimator: Option<WcetEstimator>,
+    /// Reusable delivery drain buffer (the NoC is polled every cycle).
+    arrived: Vec<Delivered>,
     next_transaction: u64,
     cycle: Cycle,
 }
@@ -136,7 +138,7 @@ impl ManycoreSystem {
         let mesh = Mesh::square(config.mesh_side)?;
         let memory_node = mesh.node_id(config.memory)?;
         let flows = FlowSet::to_and_from_endpoints(&mesh, &[config.memory])?;
-        let network = Network::new(&mesh, config.noc, &flows)?;
+        let network = Network::new(mesh, config.noc, &flows)?;
         let mut cores = Vec::new();
         let mut used = std::collections::HashSet::new();
         for (coord, trace) in workloads {
@@ -175,6 +177,7 @@ impl ManycoreSystem {
             pending_responses: HashMap::new(),
             ubd_completions: HashMap::new(),
             estimator,
+            arrived: Vec::new(),
             next_transaction: 0,
             cycle: 0,
         })
@@ -311,7 +314,12 @@ impl ManycoreSystem {
 
         // 3. Delivered messages either reach the memory controller (requests)
         //    or wake up a waiting core (responses).
-        for delivered in self.network.take_delivered() {
+        // `self.arrived` cannot be borrowed while `self.memory`/`self.cores`
+        // are mutated, so move the drained batch out through a scratch swap
+        // (both vectors keep their capacity) and restore it afterwards.
+        let mut arrived = std::mem::take(&mut self.arrived);
+        self.network.drain_delivered_into(&mut arrived);
+        for delivered in arrived.drain(..) {
             if delivered.dst == self.memory_node {
                 if let Some(txn) = self
                     .pending_requests
@@ -328,6 +336,7 @@ impl ManycoreSystem {
                 }
             }
         }
+        self.arrived = arrived;
 
         // 4. The memory controller serves requests and sends responses back.
         if let Some(response) = self.memory.tick(now) {

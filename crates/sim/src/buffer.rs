@@ -1,18 +1,22 @@
-//! Bounded flit FIFOs used as router input buffers.
+//! Bounded flit-id FIFOs used as router input buffers.
 
-use std::collections::VecDeque;
+use crate::arena::FlitId;
 
-use wnoc_core::Flit;
-
-/// A bounded FIFO of flits (one router input buffer).
+/// A fixed-capacity ring buffer of [`FlitId`]s (one router input buffer).
 ///
-/// Capacity is enforced by the credit-based flow control of the upstream
-/// router, but the buffer itself also refuses to overflow so that a flow
-/// control bug surfaces as an explicit error instead of silent flit loss.
+/// The storage is allocated once at construction and never regrows: capacity
+/// is enforced by the credit-based flow control of the upstream router, but
+/// the buffer itself also refuses to overflow so that a flow control bug
+/// surfaces as an explicit error instead of silent flit loss.
+///
+/// Flits themselves live in the [`FlitArena`](crate::arena::FlitArena); the
+/// buffer holds 4-byte handles, which keeps the per-router footprint small
+/// and the push/pop hot path free of copies and allocations.
 #[derive(Debug, Clone)]
 pub struct FlitBuffer {
-    flits: VecDeque<Flit>,
-    capacity: usize,
+    slots: Box<[Option<FlitId>]>,
+    head: usize,
+    len: usize,
 }
 
 impl FlitBuffer {
@@ -24,111 +28,137 @@ impl FlitBuffer {
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "input buffers must hold at least one flit");
         Self {
-            flits: VecDeque::with_capacity(capacity),
-            capacity,
+            slots: vec![None; capacity].into_boxed_slice(),
+            head: 0,
+            len: 0,
         }
     }
 
     /// Maximum number of flits the buffer can hold.
     pub fn capacity(&self) -> usize {
-        self.capacity
+        self.slots.len()
     }
 
     /// Current number of buffered flits.
     pub fn len(&self) -> usize {
-        self.flits.len()
+        self.len
     }
 
     /// Returns `true` if no flits are buffered.
     pub fn is_empty(&self) -> bool {
-        self.flits.is_empty()
+        self.len == 0
     }
 
     /// Returns `true` if the buffer cannot accept another flit.
     pub fn is_full(&self) -> bool {
-        self.flits.len() >= self.capacity
+        self.len >= self.slots.len()
     }
 
     /// Free slots remaining.
     pub fn free_slots(&self) -> usize {
-        self.capacity - self.flits.len()
+        self.slots.len() - self.len
     }
 
-    /// The flit at the head of the FIFO, if any.
-    pub fn front(&self) -> Option<&Flit> {
-        self.flits.front()
-    }
-
-    /// Appends a flit.
-    ///
-    /// Returns `Err(flit)` if the buffer is full (flow-control violation).
-    pub fn push(&mut self, flit: Flit) -> Result<(), Flit> {
-        if self.is_full() {
-            return Err(flit);
+    /// The flit id at the head of the FIFO, if any.
+    pub fn front(&self) -> Option<FlitId> {
+        if self.len == 0 {
+            None
+        } else {
+            self.slots[self.head]
         }
-        self.flits.push_back(flit);
+    }
+
+    /// Appends a flit id.
+    ///
+    /// Returns `Err(id)` if the buffer is full (flow-control violation).
+    pub fn push(&mut self, id: FlitId) -> Result<(), FlitId> {
+        if self.is_full() {
+            return Err(id);
+        }
+        let tail = (self.head + self.len) % self.slots.len();
+        self.slots[tail] = Some(id);
+        self.len += 1;
         Ok(())
     }
 
-    /// Removes and returns the head flit.
-    pub fn pop(&mut self) -> Option<Flit> {
-        self.flits.pop_front()
+    /// Removes and returns the head flit id.
+    pub fn pop(&mut self) -> Option<FlitId> {
+        if self.len == 0 {
+            return None;
+        }
+        let id = self.slots[self.head].take();
+        self.head = (self.head + 1) % self.slots.len();
+        self.len -= 1;
+        id
     }
 
-    /// Iterates over buffered flits from head to tail.
-    pub fn iter(&self) -> impl Iterator<Item = &Flit> {
-        self.flits.iter()
+    /// Iterates over buffered flit ids from head to tail.
+    pub fn iter(&self) -> impl Iterator<Item = FlitId> + '_ {
+        (0..self.len).filter_map(move |offset| self.slots[(self.head + offset) % self.slots.len()])
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use wnoc_core::{FlitKind, FlowId, MessageId, NodeId, PacketId};
+    use crate::arena::FlitArena;
+    use wnoc_core::{Flit, FlitKind, FlowId, MessageId, NodeId, PacketId};
 
-    fn flit(seq: u32) -> Flit {
-        Flit {
-            packet: PacketId(1),
-            message: MessageId(1),
-            flow: FlowId(0),
-            src: NodeId(0),
-            dst: NodeId(1),
-            kind: FlitKind::Body,
-            seq,
-            msg_created: 0,
-            injected: 0,
-        }
+    fn ids(arena: &mut FlitArena, count: u32) -> Vec<FlitId> {
+        (0..count)
+            .map(|seq| {
+                arena.alloc(Flit {
+                    packet: PacketId(1),
+                    message: MessageId(1),
+                    flow: FlowId(0),
+                    src: NodeId(0),
+                    dst: NodeId(1),
+                    kind: FlitKind::Body,
+                    seq,
+                    msg_created: 0,
+                    injected: 0,
+                })
+            })
+            .collect()
     }
 
     #[test]
     fn fifo_order_preserved() {
+        let mut arena = FlitArena::new();
+        let handles = ids(&mut arena, 4);
         let mut buf = FlitBuffer::new(4);
-        for i in 0..4 {
-            buf.push(flit(i)).unwrap();
+        for &id in &handles {
+            buf.push(id).unwrap();
         }
-        for i in 0..4 {
-            assert_eq!(buf.pop().unwrap().seq, i);
+        for (i, &id) in handles.iter().enumerate() {
+            let popped = buf.pop().unwrap();
+            assert_eq!(popped, id);
+            assert_eq!(arena.get(popped).seq, i as u32);
         }
         assert!(buf.is_empty());
     }
 
     #[test]
     fn capacity_enforced() {
+        let mut arena = FlitArena::new();
+        let handles = ids(&mut arena, 3);
         let mut buf = FlitBuffer::new(2);
-        assert!(buf.push(flit(0)).is_ok());
-        assert!(buf.push(flit(1)).is_ok());
+        assert!(buf.push(handles[0]).is_ok());
+        assert!(buf.push(handles[1]).is_ok());
         assert!(buf.is_full());
         assert_eq!(buf.free_slots(), 0);
-        assert!(buf.push(flit(2)).is_err());
+        assert_eq!(buf.push(handles[2]), Err(handles[2]));
         buf.pop();
-        assert!(buf.push(flit(2)).is_ok());
+        assert!(buf.push(handles[2]).is_ok());
     }
 
     #[test]
     fn front_peeks_without_removing() {
+        let mut arena = FlitArena::new();
+        let handles = ids(&mut arena, 1);
         let mut buf = FlitBuffer::new(2);
-        buf.push(flit(7)).unwrap();
-        assert_eq!(buf.front().unwrap().seq, 7);
+        buf.push(handles[0]).unwrap();
+        assert_eq!(buf.front(), Some(handles[0]));
         assert_eq!(buf.len(), 1);
     }
 
@@ -139,12 +169,19 @@ mod tests {
     }
 
     #[test]
-    fn iter_matches_order() {
+    fn iter_matches_order_and_wraps() {
+        let mut arena = FlitArena::new();
+        let handles = ids(&mut arena, 5);
         let mut buf = FlitBuffer::new(3);
-        for i in 0..3 {
-            buf.push(flit(i)).unwrap();
+        // Advance the ring so iteration must wrap around the backing slice.
+        buf.push(handles[0]).unwrap();
+        buf.push(handles[1]).unwrap();
+        buf.pop();
+        buf.pop();
+        for &id in &handles[2..5] {
+            buf.push(id).unwrap();
         }
-        let seqs: Vec<u32> = buf.iter().map(|f| f.seq).collect();
-        assert_eq!(seqs, vec![0, 1, 2]);
+        let got: Vec<FlitId> = buf.iter().collect();
+        assert_eq!(got, handles[2..5]);
     }
 }

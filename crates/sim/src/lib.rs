@@ -17,6 +17,12 @@
 //!   saturated hotspot runs used to observe worst-case behaviour — [`traffic`],
 //!   [`sim`].
 //!
+//! Execution uses an allocation-free **active-set kernel**: all in-flight
+//! flits live in one [`arena`] slab and every queue holds 4-byte handles,
+//! while dirty-bit worklists restrict each cycle to the routers, links and
+//! NICs that actually carry traffic (see [`network`] for the design notes and
+//! `docs/ARCHITECTURE.md` for the full data-layout discussion).
+//!
 //! # Example
 //!
 //! ```
@@ -26,7 +32,7 @@
 //!
 //! let mesh = Mesh::square(4)?;
 //! let flows = FlowSet::all_to_one(&mesh, Coord::from_row_col(0, 0))?;
-//! let mut noc = Network::new(&mesh, NocConfig::waw_wap(), &flows)?;
+//! let mut noc = Network::new(mesh, NocConfig::waw_wap(), &flows)?;
 //! let src = mesh.node_id(Coord::from_row_col(3, 3))?;
 //! let dst = mesh.node_id(Coord::from_row_col(0, 0))?;
 //! noc.offer(src, dst, 4)?;
@@ -38,7 +44,9 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod arena;
 pub mod buffer;
+pub mod hash;
 pub mod link;
 pub mod network;
 pub mod nic;
@@ -47,6 +55,7 @@ pub mod sim;
 pub mod stats;
 pub mod traffic;
 
+pub use arena::{FlitArena, FlitId};
 pub use network::{Delivered, Network};
 pub use sim::{SaturatedReport, Simulation};
 pub use stats::{LatencyStats, NetworkStats};

@@ -1,30 +1,42 @@
 //! Pipelined point-to-point links between adjacent routers.
 
-use std::collections::VecDeque;
+use wnoc_core::Cycle;
 
-use wnoc_core::Flit;
+use crate::arena::FlitId;
 
 /// A unidirectional link with a fixed latency in cycles.
 ///
-/// A flit pushed in cycle `t` becomes available for delivery at the downstream
-/// input buffer after `latency` cycles.  The link accepts at most one flit per
-/// cycle (its bandwidth is one flit/cycle, matching the paper's 132-bit links
-/// carrying one flit per cycle).
+/// A flit pushed in cycle `t` becomes available for delivery at the
+/// downstream input buffer on the `latency`-th advance, i.e. in cycle
+/// `t + latency - 1` under the network's push-then-advance phase order.  The
+/// link accepts at most one flit per cycle (its bandwidth is one flit/cycle,
+/// matching the paper's 132-bit links carrying one flit per cycle).
+///
+/// The pipeline stores `(delivery cycle, flit id)` pairs in a ring sized to
+/// the latency — the maximum number of concurrently in-flight flits — so a
+/// link never allocates after construction and advancing costs O(1) instead
+/// of decrementing a countdown on every in-flight flit.
 #[derive(Debug, Clone)]
 pub struct SimLink {
     latency: u32,
-    /// In-flight flits with their remaining cycles.
-    in_flight: VecDeque<(u32, Flit)>,
-    pushed_this_cycle: bool,
+    /// In-flight flits with their absolute delivery cycle, oldest first.
+    slots: Box<[(Cycle, Option<FlitId>)]>,
+    head: usize,
+    len: usize,
+    /// Cycle of the most recent push (bandwidth: one flit per cycle).
+    last_push: Option<Cycle>,
 }
 
 impl SimLink {
     /// Creates a link with the given latency (at least one cycle).
     pub fn new(latency: u32) -> Self {
+        let latency = latency.max(1);
         Self {
-            latency: latency.max(1),
-            in_flight: VecDeque::new(),
-            pushed_this_cycle: false,
+            latency,
+            slots: vec![(0, None); latency as usize].into_boxed_slice(),
+            head: 0,
+            len: 0,
+            last_push: None,
         }
     }
 
@@ -35,99 +47,119 @@ impl SimLink {
 
     /// Number of flits currently traversing the link.
     pub fn in_flight(&self) -> usize {
-        self.in_flight.len()
+        self.len
     }
 
-    /// Returns `true` if a flit can be pushed this cycle.
-    pub fn can_accept(&self) -> bool {
-        !self.pushed_this_cycle
+    /// Returns `true` if a flit can be pushed in cycle `now`.
+    pub fn can_accept(&self, now: Cycle) -> bool {
+        self.last_push != Some(now) && self.len < self.slots.len()
     }
 
-    /// Pushes a flit onto the link.
+    /// Pushes a flit onto the link in cycle `now`.
     ///
-    /// Returns `Err(flit)` if a flit was already pushed this cycle.
-    pub fn push(&mut self, flit: Flit) -> Result<(), Flit> {
-        if self.pushed_this_cycle {
-            return Err(flit);
+    /// Returns `Err(id)` if a flit was already pushed this cycle or the
+    /// pipeline is full (the latter cannot happen when the link is advanced
+    /// every cycle it is non-empty, as credit flow control guarantees).
+    pub fn push(&mut self, now: Cycle, id: FlitId) -> Result<(), FlitId> {
+        if !self.can_accept(now) {
+            return Err(id);
         }
-        self.in_flight.push_back((self.latency, flit));
-        self.pushed_this_cycle = true;
+        let tail = (self.head + self.len) % self.slots.len();
+        self.slots[tail] = (now + Cycle::from(self.latency) - 1, Some(id));
+        self.len += 1;
+        self.last_push = Some(now);
         Ok(())
     }
 
-    /// Advances the link by one cycle and returns the flit (if any) that has
-    /// completed its traversal and must be delivered downstream.
-    pub fn advance(&mut self) -> Option<Flit> {
-        self.pushed_this_cycle = false;
-        for entry in &mut self.in_flight {
-            entry.0 = entry.0.saturating_sub(1);
+    /// Advances the link to cycle `now` and returns the flit (if any) that
+    /// has completed its traversal and must be delivered downstream.
+    pub fn advance(&mut self, now: Cycle) -> Option<FlitId> {
+        if self.len == 0 {
+            return None;
         }
-        if self.in_flight.front().is_some_and(|(left, _)| *left == 0) {
-            self.in_flight.pop_front().map(|(_, f)| f)
-        } else {
-            None
+        let (due, _) = self.slots[self.head];
+        if due > now {
+            return None;
         }
+        let (_, id) = std::mem::take(&mut self.slots[self.head]);
+        self.head = (self.head + 1) % self.slots.len();
+        self.len -= 1;
+        id
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use wnoc_core::{FlitKind, FlowId, MessageId, NodeId, PacketId};
+    use crate::arena::FlitArena;
+    use wnoc_core::{Flit, FlitKind, FlowId, MessageId, NodeId, PacketId};
 
-    fn flit(seq: u32) -> Flit {
-        Flit {
-            packet: PacketId(1),
-            message: MessageId(1),
-            flow: FlowId(0),
-            src: NodeId(0),
-            dst: NodeId(1),
-            kind: FlitKind::Body,
-            seq,
-            msg_created: 0,
-            injected: 0,
-        }
+    fn ids(arena: &mut FlitArena, count: u32) -> Vec<FlitId> {
+        (0..count)
+            .map(|seq| {
+                arena.alloc(Flit {
+                    packet: PacketId(1),
+                    message: MessageId(1),
+                    flow: FlowId(0),
+                    src: NodeId(0),
+                    dst: NodeId(1),
+                    kind: FlitKind::Body,
+                    seq,
+                    msg_created: 0,
+                    injected: 0,
+                })
+            })
+            .collect()
     }
 
     #[test]
-    fn single_cycle_link_delivers_next_advance() {
+    fn single_cycle_link_delivers_same_cycle() {
+        let mut arena = FlitArena::new();
+        let handles = ids(&mut arena, 1);
         let mut link = SimLink::new(1);
-        link.push(flit(0)).unwrap();
-        assert_eq!(link.advance().unwrap().seq, 0);
-        assert!(link.advance().is_none());
+        link.push(5, handles[0]).unwrap();
+        assert_eq!(link.advance(5), Some(handles[0]));
+        assert_eq!(link.advance(6), None);
     }
 
     #[test]
     fn multi_cycle_link_delays_delivery() {
+        let mut arena = FlitArena::new();
+        let handles = ids(&mut arena, 1);
         let mut link = SimLink::new(3);
-        link.push(flit(0)).unwrap();
-        assert!(link.advance().is_none());
-        assert!(link.advance().is_none());
-        assert_eq!(link.advance().unwrap().seq, 0);
+        link.push(10, handles[0]).unwrap();
+        assert_eq!(link.advance(10), None);
+        assert_eq!(link.advance(11), None);
+        assert_eq!(link.advance(12), Some(handles[0]));
+        assert_eq!(link.in_flight(), 0);
     }
 
     #[test]
     fn one_flit_per_cycle() {
+        let mut arena = FlitArena::new();
+        let handles = ids(&mut arena, 2);
         let mut link = SimLink::new(1);
-        assert!(link.can_accept());
-        link.push(flit(0)).unwrap();
-        assert!(!link.can_accept());
-        assert!(link.push(flit(1)).is_err());
-        link.advance();
-        assert!(link.can_accept());
-        link.push(flit(1)).unwrap();
+        assert!(link.can_accept(1));
+        link.push(1, handles[0]).unwrap();
+        assert!(!link.can_accept(1));
+        assert_eq!(link.push(1, handles[1]), Err(handles[1]));
+        link.advance(1);
+        assert!(link.can_accept(2));
+        link.push(2, handles[1]).unwrap();
     }
 
     #[test]
     fn pipeline_preserves_order_and_spacing() {
+        let mut arena = FlitArena::new();
+        let handles = ids(&mut arena, 3);
         let mut link = SimLink::new(2);
         let mut delivered = Vec::new();
-        for cycle in 0..6u32 {
+        for cycle in 0..6u64 {
             if cycle < 3 {
-                link.push(flit(cycle)).unwrap();
+                link.push(cycle, handles[cycle as usize]).unwrap();
             }
-            if let Some(f) = link.advance() {
-                delivered.push((cycle, f.seq));
+            if let Some(id) = link.advance(cycle) {
+                delivered.push((cycle, arena.get(id).seq));
             }
         }
         assert_eq!(delivered, vec![(1, 0), (2, 1), (3, 2)]);
@@ -137,5 +169,19 @@ mod tests {
     fn zero_latency_is_clamped_to_one() {
         let link = SimLink::new(0);
         assert_eq!(link.latency(), 1);
+    }
+
+    #[test]
+    fn pipeline_never_exceeds_latency_in_flight() {
+        let mut arena = FlitArena::new();
+        let handles = ids(&mut arena, 10);
+        let mut link = SimLink::new(3);
+        for cycle in 0..10u64 {
+            if link.can_accept(cycle) {
+                link.push(cycle, handles[cycle as usize]).unwrap();
+            }
+            assert!(link.in_flight() <= 3);
+            link.advance(cycle);
+        }
     }
 }

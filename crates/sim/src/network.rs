@@ -1,4 +1,29 @@
-//! The complete NoC: routers, links, NICs and end-to-end message tracking.
+//! The complete NoC: routers, links, NICs and end-to-end message tracking,
+//! executed by an allocation-free **active-set kernel**.
+//!
+//! # Kernel design
+//!
+//! Flits live in one contiguous [`FlitArena`]; every queue (router input
+//! buffers, link pipelines, NIC injection queues) holds 4-byte [`FlitId`]
+//! handles.  [`Network::step`] runs the same four phases as the dense
+//! reference kernel — router decisions, link deliveries, NIC injection,
+//! ejection bookkeeping — but each phase only visits the components on its
+//! *active set*, a dirty-bit worklist maintained incrementally:
+//!
+//! * a **router** is active while it buffers at least one flit (routers are
+//!   visited in ascending index order, preserving the reference kernel's
+//!   same-cycle credit-return ordering bit for bit; skipped idle cycles are
+//!   replayed into the WaW arbiters in O(1) — see [`Router::decide`]);
+//! * a **link** is active while flits are in flight on it;
+//! * a **NIC** is active while flits await injection.
+//!
+//! Idle components cost nothing, so a closed-loop probing campaign on a large
+//! mesh scales with live traffic instead of mesh size, and quiescence
+//! ([`Network::is_drained`]) is an O(1) check: empty worklists plus an empty
+//! message tracker.  After construction and a warm-up in which scratch
+//! buffers and stats tables reach their steady-state footprint, `step`
+//! performs **zero heap allocations** (enforced by the `zero_alloc`
+//! integration test with a counting global allocator).
 
 use std::collections::HashMap;
 
@@ -6,13 +31,18 @@ use wnoc_core::flow::FlowSet;
 use wnoc_core::packetization::Packetizer;
 use wnoc_core::weights::WeightTable;
 use wnoc_core::{
-    Coord, Cycle, Direction, Error, Flit, FlowId, Mesh, MessageId, NocConfig, NodeId, Port, Result,
+    Cycle, Direction, Error, FlowId, Mesh, MessageId, NocConfig, NodeId, Port, Result,
 };
 
+use crate::arena::{FlitArena, FlitId};
+use crate::hash::FxBuildHasher;
 use crate::link::SimLink;
 use crate::nic::Nic;
-use crate::router::Router;
+use crate::router::{Forward, Router};
 use crate::stats::NetworkStats;
+
+/// Sentinel for "no neighbour / no link" in the per-router lookup tables.
+const NONE: u32 = u32::MAX;
 
 /// Progress of one message through the network.
 #[derive(Debug, Clone, Copy)]
@@ -42,6 +72,57 @@ pub struct Delivered {
     pub delivered: Cycle,
 }
 
+/// A membership-tracked worklist of component indices.
+///
+/// `take` hands the current membership to the caller's scratch vector (both
+/// vectors keep their capacity, so steady-state stepping never allocates);
+/// components that remain busy are re-inserted during the sweep.
+#[derive(Debug, Default)]
+struct ActiveSet {
+    list: Vec<u32>,
+    member: Vec<bool>,
+}
+
+impl ActiveSet {
+    fn with_capacity(len: usize) -> Self {
+        Self {
+            list: Vec::with_capacity(len),
+            member: vec![false; len],
+        }
+    }
+
+    fn is_empty(&self) -> bool {
+        self.list.is_empty()
+    }
+
+    fn insert(&mut self, index: usize) {
+        if !self.member[index] {
+            self.member[index] = true;
+            self.list.push(index as u32);
+        }
+    }
+
+    /// Moves the membership list into `scratch` (cleared first); membership
+    /// bits stay set and must be maintained by the sweep via
+    /// [`ActiveSet::keep`] / [`ActiveSet::remove`].
+    fn take(&mut self, scratch: &mut Vec<u32>) {
+        scratch.clear();
+        std::mem::swap(&mut self.list, scratch);
+    }
+
+    /// Re-inserts a still-busy component during a sweep (its bit is set).
+    fn keep(&mut self, index: usize) {
+        debug_assert!(self.member[index]);
+        self.list.push(index as u32);
+    }
+
+    /// Drops a drained component during a sweep.
+    fn remove(&mut self, index: usize) {
+        debug_assert!(self.member[index]);
+        self.member[index] = false;
+    }
+}
+
 /// A cycle-accurate wormhole mesh NoC.
 ///
 /// The network is driven externally: callers offer messages with
@@ -57,7 +138,7 @@ pub struct Delivered {
 ///
 /// let mesh = Mesh::square(4)?;
 /// let flows = FlowSet::all_to_one(&mesh, Coord::from_row_col(0, 0))?;
-/// let mut noc = Network::new(&mesh, NocConfig::waw_wap(), &flows)?;
+/// let mut noc = Network::new(mesh, NocConfig::waw_wap(), &flows)?;
 /// let src = mesh.node_id(Coord::from_row_col(3, 3))?;
 /// let dst = mesh.node_id(Coord::from_row_col(0, 0))?;
 /// noc.offer(src, dst, 4)?;
@@ -71,12 +152,33 @@ pub struct Network {
     config: NocConfig,
     routers: Vec<Router>,
     nics: Vec<Nic>,
-    /// Outgoing link of each (router, direction) pair.
-    links: HashMap<(Coord, Direction), SimLink>,
+    /// All unidirectional links, indexed densely.
+    links: Vec<SimLink>,
+    /// `(downstream router index, downstream input port)` per link.
+    link_dst: Vec<(u32, Port)>,
+    /// Outgoing link index per `(router, output port)`; [`NONE`] at edges.
+    link_out: Vec<[u32; Port::COUNT]>,
+    /// Neighbour router index per `(router, mesh port)`; [`NONE`] at edges.
+    neighbor: Vec<[u32; Port::COUNT]>,
+    /// The flit slab shared by every queue in the network.
+    arena: FlitArena,
+    active_routers: ActiveSet,
+    active_links: ActiveSet,
+    active_nics: ActiveSet,
+    /// Reusable sweep scratch (the double buffer of each active set).
+    scratch_routers: Vec<u32>,
+    scratch_links: Vec<u32>,
+    scratch_nics: Vec<u32>,
+    /// Reusable per-router forwarding scratch.
+    scratch_forwards: Vec<Forward>,
+    /// Flits ejected this cycle, in router index order.
+    scratch_ejected: Vec<FlitId>,
     /// Flow id lookup for (src, dst) pairs, extended on demand.
-    flow_ids: HashMap<(NodeId, NodeId), FlowId>,
+    flow_ids: HashMap<(NodeId, NodeId), FlowId, FxBuildHasher>,
     next_flow: usize,
-    tracker: HashMap<(NodeId, MessageId), MessageProgress>,
+    /// In-flight message progress; touched on every offer, injection and
+    /// ejection, hence the fast deterministic hasher.
+    tracker: HashMap<(NodeId, MessageId), MessageProgress, FxBuildHasher>,
     delivered: Vec<Delivered>,
     stats: NetworkStats,
     cycle: Cycle,
@@ -93,15 +195,20 @@ impl Network {
     /// # Errors
     ///
     /// Returns [`Error::InvalidConfig`] if the configuration is invalid.
-    pub fn new(mesh: &Mesh, config: NocConfig, flows: &FlowSet) -> Result<Self> {
+    pub fn new(mesh: Mesh, config: NocConfig, flows: &FlowSet) -> Result<Self> {
         config.validate()?;
         let weights = WeightTable::from_flow_set(flows);
-        let mut routers = Vec::with_capacity(mesh.router_count());
-        let mut nics = Vec::with_capacity(mesh.router_count());
-        for coord in mesh.routers() {
+        let count = mesh.router_count();
+        let mut routers = Vec::with_capacity(count);
+        let mut nics = Vec::with_capacity(count);
+        let mut links = Vec::with_capacity(mesh.link_count());
+        let mut link_dst = Vec::with_capacity(mesh.link_count());
+        let mut link_out = vec![[NONE; Port::COUNT]; count];
+        let mut neighbor = vec![[NONE; Port::COUNT]; count];
+        for (index, coord) in mesh.routers().enumerate() {
             routers.push(Router::new(
                 coord,
-                mesh,
+                &mesh,
                 config.arbitration,
                 &weights,
                 config.input_buffer_flits,
@@ -112,28 +219,45 @@ impl Network {
                 node,
                 Packetizer::new(config.packetization, config.geometry)?,
             ));
+            for dir in Direction::ALL {
+                let Some(downstream) = mesh.neighbor(coord, dir) else {
+                    continue;
+                };
+                let downstream_index = mesh.node_id(downstream)?.index();
+                let port = Port::Mesh(dir).index();
+                neighbor[index][port] = downstream_index as u32;
+                link_out[index][port] = links.len() as u32;
+                links.push(SimLink::new(config.timing.link_cycles));
+                link_dst.push((downstream_index as u32, Port::Mesh(dir.opposite())));
+            }
         }
-        let mut links = HashMap::new();
-        for link in mesh.links() {
-            links.insert(
-                (link.from, link.direction),
-                SimLink::new(config.timing.link_cycles),
-            );
-        }
-        let mut flow_ids = HashMap::new();
+        let mut flow_ids: HashMap<_, _, FxBuildHasher> = HashMap::default();
         for (id, flow) in flows.iter() {
             flow_ids.insert((flow.src, flow.dst), id);
         }
         let next_flow = flows.len();
+        let link_count = links.len();
         Ok(Self {
-            mesh: mesh.clone(),
+            mesh,
             config,
             routers,
             nics,
             links,
+            link_dst,
+            link_out,
+            neighbor,
+            arena: FlitArena::new(),
+            active_routers: ActiveSet::with_capacity(count),
+            active_links: ActiveSet::with_capacity(link_count),
+            active_nics: ActiveSet::with_capacity(count),
+            scratch_routers: Vec::with_capacity(count),
+            scratch_links: Vec::with_capacity(link_count),
+            scratch_nics: Vec::with_capacity(count),
+            scratch_forwards: Vec::with_capacity(Port::COUNT),
+            scratch_ejected: Vec::with_capacity(count),
             flow_ids,
             next_flow,
-            tracker: HashMap::new(),
+            tracker: HashMap::default(),
             delivered: Vec::new(),
             stats: NetworkStats::new(),
             cycle: 0,
@@ -141,8 +265,18 @@ impl Network {
     }
 
     /// Drains and returns the messages delivered since the last call.
+    ///
+    /// Prefer [`Network::drain_delivered_into`] in loops: this convenience
+    /// hands ownership out, so the internal buffer restarts at zero capacity.
     pub fn take_delivered(&mut self) -> Vec<Delivered> {
         std::mem::take(&mut self.delivered)
+    }
+
+    /// Appends the messages delivered since the last drain to `out`, keeping
+    /// the internal buffer's capacity (the allocation-free variant for
+    /// closed-loop drivers that poll deliveries every cycle).
+    pub fn drain_delivered_into(&mut self, out: &mut Vec<Delivered>) {
+        out.append(&mut self.delivered);
     }
 
     /// The mesh topology.
@@ -163,6 +297,11 @@ impl Network {
     /// Collected statistics.
     pub fn stats(&self) -> &NetworkStats {
         &self.stats
+    }
+
+    /// The flit arena (diagnostics: live flit count, slab high-water mark).
+    pub fn arena(&self) -> &FlitArena {
+        &self.arena
     }
 
     /// The flow id used for messages from `src` to `dst`, registering a new one
@@ -200,7 +339,8 @@ impl Network {
         }
         let flow = self.flow_id(src, dst);
         let now = self.cycle;
-        let offered = self.nics[src.index()].offer(dst, flow, size_flits, now);
+        let offered = self.nics[src.index()].offer(&mut self.arena, dst, flow, size_flits, now);
+        self.active_nics.insert(src.index());
         self.stats.messages_offered += 1;
         self.tracker.insert(
             (src, offered.id),
@@ -221,64 +361,80 @@ impl Network {
         self.cycle += 1;
         let now = self.cycle;
 
-        // Phase 1: routers take their forwarding decisions and the network
-        // applies them (link pushes, ejections, credit returns).
-        let mut ejected: Vec<Flit> = Vec::new();
-        for index in 0..self.routers.len() {
-            let coord = self.routers[index].coord();
-            let forwards = self.routers[index].decide();
-            for fwd in forwards {
+        // Phase 1: busy routers take their forwarding decisions and the
+        // network applies them (link pushes, ejections, credit returns).
+        // Ascending index order matches the dense reference kernel, so
+        // same-cycle credit visibility between routers is preserved exactly.
+        self.active_routers.take(&mut self.scratch_routers);
+        self.scratch_routers.sort_unstable();
+        for slot in 0..self.scratch_routers.len() {
+            let index = self.scratch_routers[slot] as usize;
+            self.scratch_forwards.clear();
+            self.routers[index].decide(&self.arena, now, &mut self.scratch_forwards);
+            for entry in 0..self.scratch_forwards.len() {
+                let fwd = self.scratch_forwards[entry];
+                let coord = self.routers[index].coord();
                 self.stats.record_port_flit(coord, fwd.output);
                 // Return a credit to the upstream router that fed this input.
                 if let Port::Mesh(dir) = fwd.input {
-                    if let Some(upstream) = self.mesh.neighbor(coord, dir) {
-                        let upstream_index = self
-                            .mesh
-                            .node_id(upstream)
-                            .expect("neighbour inside mesh")
-                            .index();
-                        self.routers[upstream_index].credit_return(Port::Mesh(dir.opposite()));
-                    }
+                    let upstream = self.neighbor[index][fwd.input.index()];
+                    debug_assert_ne!(upstream, NONE, "mesh input implies a neighbour");
+                    self.routers[upstream as usize].credit_return(Port::Mesh(dir.opposite()));
                 }
                 match fwd.output {
-                    Port::Local => ejected.push(fwd.flit),
-                    Port::Mesh(dir) => {
-                        let link = self
-                            .links
-                            .get_mut(&(coord, dir))
-                            .expect("output port implies link");
-                        link.push(fwd.flit)
+                    Port::Local => self.scratch_ejected.push(fwd.flit),
+                    Port::Mesh(_) => {
+                        let link = self.link_out[index][fwd.output.index()];
+                        debug_assert_ne!(link, NONE, "output port implies link");
+                        self.links[link as usize]
+                            .push(now, fwd.flit)
                             .expect("one forward per output per cycle");
+                        self.active_links.insert(link as usize);
                     }
                 }
             }
-        }
-
-        // Phase 2: links advance; arriving flits enter the downstream buffers.
-        for ((from, dir), link) in &mut self.links {
-            if let Some(flit) = link.advance() {
-                let to = self
-                    .mesh
-                    .neighbor(*from, *dir)
-                    .expect("links connect adjacent routers");
-                let to_index = self.mesh.node_id(to).expect("inside mesh").index();
-                let input = Port::Mesh(dir.opposite());
-                self.routers[to_index]
-                    .accept(input, flit)
-                    .expect("credit flow control guarantees buffer space");
+            if self.routers[index].buffered_flits() > 0 {
+                self.active_routers.keep(index);
+            } else {
+                self.active_routers.remove(index);
             }
         }
 
-        // Phase 3: NIC injection into the local input buffers.
-        for index in 0..self.nics.len() {
-            let coord = self.routers[index].coord();
-            debug_assert_eq!(self.mesh.node_id(coord).unwrap().index(), index);
+        // Phase 2: active links advance; arriving flits enter the downstream
+        // buffers.  Each link feeds a distinct (router, input) pair, so the
+        // sweep order is immaterial.
+        self.active_links.take(&mut self.scratch_links);
+        for slot in 0..self.scratch_links.len() {
+            let index = self.scratch_links[slot] as usize;
+            if let Some(id) = self.links[index].advance(now) {
+                let (to, input) = self.link_dst[index];
+                self.routers[to as usize]
+                    .accept(input, id)
+                    .expect("credit flow control guarantees buffer space");
+                self.active_routers.insert(to as usize);
+            }
+            if self.links[index].in_flight() > 0 {
+                self.active_links.keep(index);
+            } else {
+                self.active_links.remove(index);
+            }
+        }
+
+        // Phase 3: backlogged NICs inject into the local input buffers.
+        self.active_nics.take(&mut self.scratch_nics);
+        self.scratch_nics.sort_unstable();
+        for slot in 0..self.scratch_nics.len() {
+            let index = self.scratch_nics[slot] as usize;
+            let src = self.nics[index].node();
             while self.routers[index].free_slots(Port::Local) > 0 {
-                let Some(peek_src) = self.nics[index].peek().map(|f| f.src) else {
+                if self.nics[index].peek().is_none() {
                     break;
-                };
-                let flit = self.nics[index].inject(now).expect("peeked flit exists");
-                if let Some(progress) = self.tracker.get_mut(&(peek_src, flit.message)) {
+                }
+                let id = self.nics[index]
+                    .inject(&mut self.arena, now)
+                    .expect("peeked flit exists");
+                let flit = self.arena.get(id);
+                if let Some(progress) = self.tracker.get_mut(&(src, flit.message)) {
                     if progress.first_injection.is_none() {
                         progress.first_injection = Some(now);
                     }
@@ -288,13 +444,22 @@ impl Network {
                     self.stats.packets_injected += 1;
                 }
                 self.routers[index]
-                    .accept(Port::Local, flit)
+                    .accept(Port::Local, id)
                     .expect("free slot checked above");
+                self.active_routers.insert(index);
+            }
+            if self.nics[index].pending_flits() > 0 {
+                self.active_nics.keep(index);
+            } else {
+                self.active_nics.remove(index);
             }
         }
 
-        // Phase 4: ejections complete messages.
-        for flit in ejected {
+        // Phase 4: ejections complete messages and release arena slots.
+        for slot in 0..self.scratch_ejected.len() {
+            let id = self.scratch_ejected[slot];
+            let flit = *self.arena.get(id);
+            self.arena.free(id);
             self.stats.flits_delivered += 1;
             if flit.kind.is_tail() {
                 self.stats.packets_delivered += 1;
@@ -323,29 +488,91 @@ impl Network {
                 });
             }
         }
+        self.scratch_ejected.clear();
 
         self.stats.cycles = self.cycle;
     }
 
     /// Returns `true` when no flit is buffered, in flight or awaiting injection
     /// anywhere in the network.
+    ///
+    /// With the active-set kernel this is an O(1) check: every component
+    /// holding traffic is on a worklist, and every tracked message still has
+    /// flits somewhere in the system.
     pub fn is_drained(&self) -> bool {
-        self.nics.iter().all(Nic::is_drained)
-            && self.routers.iter().all(Router::is_idle)
-            && self.links.values().all(|l| l.in_flight() == 0)
-            && self.tracker.is_empty()
+        let quiescent = self.active_routers.is_empty()
+            && self.active_links.is_empty()
+            && self.active_nics.is_empty()
+            && self.tracker.is_empty();
+        debug_assert_eq!(
+            quiescent,
+            self.nics.iter().all(Nic::is_drained)
+                && self.routers.iter().all(Router::is_idle)
+                && self.links.iter().all(|l| l.in_flight() == 0)
+                && self.tracker.is_empty()
+                && self.arena.is_empty(),
+            "active sets drifted from component state at cycle {}",
+            self.cycle
+        );
+        quiescent
+    }
+
+    /// Steps until the network is quiescent or `max_cycles` additional cycles
+    /// have elapsed.
+    ///
+    /// This is the single drain driver every simulation loop builds on.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::SimulationStalled`] — enriched with the stuck cycle,
+    /// the number of flits still in the system and the number of routers
+    /// holding them — if the network fails to drain within the budget.
+    pub fn step_until_quiescent(&mut self, max_cycles: u64) -> Result<()> {
+        for _ in 0..max_cycles {
+            if self.is_drained() {
+                return Ok(());
+            }
+            self.step();
+        }
+        if self.is_drained() {
+            return Ok(());
+        }
+        Err(self.stall_error(max_cycles))
+    }
+
+    /// The enriched stall diagnostic for the current network state.
+    fn stall_error(&self, drain_limit: u64) -> Error {
+        let router_flits: usize = self.routers.iter().map(Router::buffered_flits).sum();
+        let link_flits: usize = self.links.iter().map(SimLink::in_flight).sum();
+        let nic_flits: usize = self.nics.iter().map(Nic::pending_flits).sum();
+        Error::SimulationStalled {
+            drain_limit,
+            cycle: self.cycle,
+            buffered_flits: (router_flits + link_flits + nic_flits) as u64,
+            stalled_routers: self
+                .routers
+                .iter()
+                .filter(|r| r.buffered_flits() > 0)
+                .count(),
+        }
+    }
+
+    /// Buffered-flit count per router, in router index order, skipping empty
+    /// routers — the per-router occupancy snapshot failure logs attach to a
+    /// stalled run.
+    pub fn per_router_occupancy(&self) -> Vec<(NodeId, usize)> {
+        self.routers
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| r.buffered_flits() > 0)
+            .map(|(index, r)| (NodeId(index), r.buffered_flits()))
+            .collect()
     }
 
     /// Steps until the network drains or `max_cycles` additional cycles have
     /// elapsed; returns `true` if it drained.
     pub fn run_until_drained(&mut self, max_cycles: u64) -> bool {
-        for _ in 0..max_cycles {
-            if self.is_drained() {
-                return true;
-            }
-            self.step();
-        }
-        self.is_drained()
+        self.step_until_quiescent(max_cycles).is_ok()
     }
 
     /// Runs for exactly `cycles` cycles.
@@ -359,11 +586,12 @@ impl Network {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use wnoc_core::Coord;
 
     fn build(side: u16, config: NocConfig) -> Network {
         let mesh = Mesh::square(side).unwrap();
         let flows = FlowSet::all_to_one(&mesh, Coord::from_row_col(0, 0)).unwrap();
-        Network::new(&mesh, config, &flows).unwrap()
+        Network::new(mesh, config, &flows).unwrap()
     }
 
     fn node(network: &Network, row: u16, col: u16) -> NodeId {
@@ -433,6 +661,8 @@ mod tests {
         assert_eq!(noc.stats().flits_delivered, offered_flits);
         assert_eq!(noc.stats().messages_delivered, 15);
         assert_eq!(noc.stats().messages_offered, 15);
+        // Every arena slot was recycled back to the free list.
+        assert!(noc.arena().is_empty());
     }
 
     #[test]
@@ -517,5 +747,65 @@ mod tests {
         assert!(!noc.is_drained());
         assert!(noc.run_until_drained(1_000));
         assert!(noc.is_drained());
+    }
+
+    #[test]
+    fn stall_error_reports_cycle_and_occupancy() {
+        // Not a real deadlock (XY routing is deadlock free): an *undersized*
+        // drain budget triggers the same diagnostic path.
+        let mut noc = build(4, NocConfig::regular(4));
+        let src = node(&noc, 3, 3);
+        let dst = node(&noc, 0, 0);
+        noc.offer(src, dst, 4).unwrap();
+        let err = noc.step_until_quiescent(1).unwrap_err();
+        match err {
+            Error::SimulationStalled {
+                drain_limit,
+                cycle,
+                buffered_flits,
+                stalled_routers: _,
+            } => {
+                assert_eq!(drain_limit, 1);
+                assert_eq!(cycle, noc.cycle());
+                assert!(buffered_flits > 0, "traffic is still in the system");
+            }
+            other => panic!("expected SimulationStalled, got {other:?}"),
+        }
+        assert!(!noc.per_router_occupancy().is_empty() || noc.nic_backlog(src) > 0);
+        // With a real budget the same network drains cleanly.
+        assert!(noc.step_until_quiescent(1_000).is_ok());
+        assert!(noc.per_router_occupancy().is_empty());
+    }
+
+    #[test]
+    fn drain_delivered_into_keeps_capacity() {
+        let mut noc = build(3, NocConfig::regular(4));
+        let src = node(&noc, 2, 2);
+        let dst = node(&noc, 0, 0);
+        let mut sink = Vec::new();
+        for round in 0..3 {
+            noc.offer(src, dst, 2).unwrap();
+            assert!(noc.run_until_drained(1_000));
+            noc.drain_delivered_into(&mut sink);
+            assert_eq!(sink.len(), round + 1);
+        }
+        assert_eq!(noc.take_delivered(), Vec::new());
+        assert!(sink.iter().all(|d| d.src == src && d.dst == dst));
+    }
+
+    #[test]
+    fn idle_heavy_run_visits_no_components() {
+        // After draining, a million idle steps are pure counter increments:
+        // the arena holds no live flits and the worklists stay empty.
+        let mut noc = build(8, NocConfig::waw_wap());
+        let src = node(&noc, 7, 7);
+        let dst = node(&noc, 0, 0);
+        noc.offer(src, dst, 4).unwrap();
+        assert!(noc.run_until_drained(10_000));
+        let delivered = noc.stats().flits_delivered;
+        noc.run_for(100_000);
+        assert_eq!(noc.stats().flits_delivered, delivered);
+        assert!(noc.is_drained());
+        assert_eq!(noc.stats().cycles, noc.cycle());
     }
 }

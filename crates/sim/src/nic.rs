@@ -5,11 +5,16 @@
 //! packet per message (regular packetization) or a train of single-flit
 //! packets with replicated control information (WaP), depending on the
 //! configured [`PacketizationPolicy`](wnoc_core::PacketizationPolicy).
+//!
+//! Flits are allocated into the network's [`FlitArena`] at offer time; the
+//! injection queue holds [`FlitId`] handles only.
 
 use std::collections::VecDeque;
 
 use wnoc_core::packetization::MessageDescriptor;
-use wnoc_core::{Cycle, Flit, FlowId, MessageId, NodeId, Packetizer};
+use wnoc_core::{Cycle, FlowId, MessageId, NodeId, Packetizer};
+
+use crate::arena::{FlitArena, FlitId};
 
 /// Metadata the network needs to track a message end to end.
 #[derive(Debug, Clone, Copy)]
@@ -37,7 +42,7 @@ pub struct Nic {
     packetizer: Packetizer,
     next_message: u64,
     /// Flits awaiting injection, in order.
-    pending: VecDeque<Flit>,
+    pending: VecDeque<FlitId>,
     /// Number of messages whose flits have not yet all been injected.
     pending_messages: VecDeque<(MessageId, u32)>,
     flits_injected: u64,
@@ -89,13 +94,15 @@ impl Nic {
     }
 
     /// Accepts a message for transmission: packetizes it according to the
-    /// configured policy and queues its flits for injection.
+    /// configured policy, allocates its flits into `arena` and queues their
+    /// handles for injection.
     ///
     /// # Panics
     ///
     /// Panics if `size_flits` is zero (callers validate message sizes).
     pub fn offer(
         &mut self,
+        arena: &mut FlitArena,
         dst: NodeId,
         flow: FlowId,
         size_flits: u32,
@@ -122,7 +129,7 @@ impl Nic {
         for packet in &packets {
             wire_flits += packet.length_flits;
             for flit in packet.to_flits() {
-                self.pending.push_back(flit);
+                self.pending.push_back(arena.alloc(flit));
             }
         }
         self.pending_messages.push_back((id, wire_flits));
@@ -138,15 +145,15 @@ impl Nic {
     }
 
     /// The next flit awaiting injection, if any.
-    pub fn peek(&self) -> Option<&Flit> {
-        self.pending.front()
+    pub fn peek(&self) -> Option<FlitId> {
+        self.pending.front().copied()
     }
 
     /// Removes and returns the next flit to inject, stamping it with the
     /// injection cycle.
-    pub fn inject(&mut self, now: Cycle) -> Option<Flit> {
-        let mut flit = self.pending.pop_front()?;
-        flit.injected = now;
+    pub fn inject(&mut self, arena: &mut FlitArena, now: Cycle) -> Option<FlitId> {
+        let id = self.pending.pop_front()?;
+        arena.get_mut(id).injected = now;
         self.flits_injected += 1;
         if let Some(front) = self.pending_messages.front_mut() {
             front.1 -= 1;
@@ -154,7 +161,7 @@ impl Nic {
                 self.pending_messages.pop_front();
             }
         }
-        Some(flit)
+        Some(id)
     }
 }
 
@@ -173,23 +180,27 @@ mod tests {
 
     #[test]
     fn regular_nic_queues_one_packet_per_message() {
+        let mut arena = FlitArena::new();
         let mut n = nic(PacketizationPolicy::regular_l4());
-        let offered = n.offer(NodeId(0), FlowId(1), 4, 100);
+        let offered = n.offer(&mut arena, NodeId(0), FlowId(1), 4, 100);
         assert_eq!(offered.packets, 1);
         assert_eq!(offered.wire_flits, 4);
         assert_eq!(n.pending_flits(), 4);
         assert_eq!(n.pending_messages(), 1);
+        assert_eq!(arena.live(), 4);
     }
 
     #[test]
     fn wap_nic_slices_and_replicates_headers() {
+        let mut arena = FlitArena::new();
         let mut n = nic(PacketizationPolicy::wap());
-        let offered = n.offer(NodeId(0), FlowId(1), 4, 100);
+        let offered = n.offer(&mut arena, NodeId(0), FlowId(1), 4, 100);
         assert_eq!(offered.packets, 5);
         assert_eq!(offered.wire_flits, 5);
         assert_eq!(n.pending_flits(), 5);
         // Every queued flit is a complete single-flit packet.
-        while let Some(f) = n.inject(101) {
+        while let Some(id) = n.inject(&mut arena, 101) {
+            let f = arena.get(id);
             assert_eq!(f.kind, FlitKind::HeadTail);
             assert_eq!(f.injected, 101);
             assert_eq!(f.msg_created, 100);
@@ -200,26 +211,28 @@ mod tests {
 
     #[test]
     fn injection_preserves_message_order() {
+        let mut arena = FlitArena::new();
         let mut n = nic(PacketizationPolicy::regular_l4());
-        n.offer(NodeId(0), FlowId(0), 2, 0);
-        n.offer(NodeId(1), FlowId(1), 2, 0);
-        let first: Vec<_> = (0..2).map(|_| n.inject(1).unwrap()).collect();
-        let second: Vec<_> = (0..2).map(|_| n.inject(2).unwrap()).collect();
-        assert!(first.iter().all(|f| f.dst == NodeId(0)));
-        assert!(second.iter().all(|f| f.dst == NodeId(1)));
+        n.offer(&mut arena, NodeId(0), FlowId(0), 2, 0);
+        n.offer(&mut arena, NodeId(1), FlowId(1), 2, 0);
+        let first: Vec<FlitId> = (0..2).map(|_| n.inject(&mut arena, 1).unwrap()).collect();
+        let second: Vec<FlitId> = (0..2).map(|_| n.inject(&mut arena, 2).unwrap()).collect();
+        assert!(first.iter().all(|&id| arena.get(id).dst == NodeId(0)));
+        assert!(second.iter().all(|&id| arena.get(id).dst == NodeId(1)));
         assert_eq!(n.pending_messages(), 0);
     }
 
     #[test]
     fn pending_message_count_tracks_partial_injection() {
+        let mut arena = FlitArena::new();
         let mut n = nic(PacketizationPolicy::regular_l4());
-        n.offer(NodeId(0), FlowId(0), 4, 0);
+        n.offer(&mut arena, NodeId(0), FlowId(0), 4, 0);
         assert_eq!(n.pending_messages(), 1);
-        n.inject(1);
-        n.inject(2);
+        n.inject(&mut arena, 1);
+        n.inject(&mut arena, 2);
         assert_eq!(n.pending_messages(), 1);
-        n.inject(3);
-        n.inject(4);
+        n.inject(&mut arena, 3);
+        n.inject(&mut arena, 4);
         assert_eq!(n.pending_messages(), 0);
         assert_eq!(n.messages_offered(), 1);
     }
@@ -227,7 +240,8 @@ mod tests {
     #[test]
     #[should_panic(expected = "at least one flit")]
     fn zero_size_message_panics() {
+        let mut arena = FlitArena::new();
         let mut n = nic(PacketizationPolicy::wap());
-        n.offer(NodeId(0), FlowId(0), 0, 0);
+        n.offer(&mut arena, NodeId(0), FlowId(0), 0, 0);
     }
 }

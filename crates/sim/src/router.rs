@@ -1,11 +1,28 @@
 //! The wormhole router model: input-buffered, XY-routed, credit flow control,
 //! with a pluggable output-port arbitration policy (round robin or WaW).
+//!
+//! The router is built for the allocation-free active-set kernel:
+//!
+//! * input buffers hold [`FlitId`] handles into the network's
+//!   [`FlitArena`](crate::arena::FlitArena), never flit values;
+//! * [`Router::decide`] appends into a caller-provided scratch vector instead
+//!   of returning a fresh `Vec` every cycle;
+//! * routing decisions come from a per-router lookup table precomputed from
+//!   XY routing at construction (no mesh clone per router, no arithmetic on
+//!   the hot path);
+//! * a router that holds no flits can be *skipped* entirely by the scheduler:
+//!   [`Router::decide`] tracks the cycle it last ran and replays the skipped
+//!   idle cycles into its arbiters in O(1)
+//!   ([`PortArbiter::idle_for`](wnoc_core::arbitration::PortArbiter::idle_for))
+//!   before taking new decisions, so skipping is behaviour-identical to
+//!   visiting every router every cycle.
 
 use wnoc_core::arbitration::{make_arbiter, ArbitrationPolicy, PortArbiter};
 use wnoc_core::routing::{RoutingAlgorithm, XyRouting};
 use wnoc_core::weights::WeightTable;
-use wnoc_core::{Coord, Flit, Mesh, PacketId, Port};
+use wnoc_core::{Coord, Cycle, Mesh, PacketId, Port};
 
+use crate::arena::{FlitArena, FlitId};
 use crate::buffer::FlitBuffer;
 
 /// A flit forwarding decision taken by a router in the current cycle.
@@ -15,8 +32,8 @@ pub struct Forward {
     pub input: Port,
     /// Output port the flit leaves through.
     pub output: Port,
-    /// The flit itself.
-    pub flit: Flit,
+    /// Handle of the forwarded flit.
+    pub flit: FlitId,
 }
 
 /// A wormhole path reservation: `input` holds `output` until the packet's tail
@@ -31,12 +48,18 @@ struct Hold {
 /// and credit-based flow control towards its downstream neighbours.
 pub struct Router {
     coord: Coord,
-    mesh: Mesh,
     inputs: Vec<Option<FlitBuffer>>,
     credits: Vec<u32>,
     holds: Vec<Option<Hold>>,
     arbiters: Vec<Box<dyn PortArbiter>>,
-    routing: XyRouting,
+    /// Output port per destination node id, precomputed from XY routing.
+    route: Box<[Port]>,
+    /// Buffered flits across all inputs, maintained incrementally so the
+    /// active-set scheduler's busy check is O(1).
+    buffered: usize,
+    /// Cycle of the last [`Router::decide`] call (0 before the first): the
+    /// scheduler may skip idle cycles, which are replayed into the arbiters.
+    last_decide: Cycle,
 }
 
 impl std::fmt::Debug for Router {
@@ -86,14 +109,25 @@ impl Router {
             let quotas = weights.reduced_quotas(coord, port);
             arbiters.push(make_arbiter(policy, &quotas));
         }
+        let routing = XyRouting::new();
+        let route = mesh
+            .nodes()
+            .map(|node| {
+                let dst = mesh.coord_of(node).expect("node inside mesh");
+                routing
+                    .output_port(mesh, coord, dst)
+                    .expect("coordinates validated at construction")
+            })
+            .collect();
         Self {
             coord,
-            mesh: mesh.clone(),
             inputs,
             credits,
             holds,
             arbiters,
-            routing: XyRouting::new(),
+            route,
+            buffered: 0,
+            last_decide: 0,
         }
     }
 
@@ -110,9 +144,14 @@ impl Router {
             .map_or(0, FlitBuffer::free_slots)
     }
 
-    /// Number of buffered flits across all input ports.
+    /// Number of buffered flits across all input ports (O(1)).
     pub fn buffered_flits(&self) -> usize {
-        self.inputs.iter().flatten().map(FlitBuffer::len).sum()
+        debug_assert_eq!(
+            self.buffered,
+            self.inputs.iter().flatten().map(FlitBuffer::len).sum(),
+            "incremental buffered-flit count drifted"
+        );
+        self.buffered
     }
 
     /// Returns `true` if no flits are buffered and no wormhole path is held.
@@ -135,36 +174,48 @@ impl Router {
     ///
     /// # Errors
     ///
-    /// Returns `Err(flit)` if the buffer is full — this indicates a credit
+    /// Returns `Err(id)` if the buffer is full — this indicates a credit
     /// flow-control violation and is treated as a fatal simulation error by the
     /// network.
-    pub fn accept(&mut self, port: Port, flit: Flit) -> Result<(), Flit> {
+    pub fn accept(&mut self, port: Port, id: FlitId) -> Result<(), FlitId> {
         match &mut self.inputs[port.index()] {
-            Some(buffer) => buffer.push(flit),
-            None => Err(flit),
+            Some(buffer) => {
+                buffer.push(id)?;
+                self.buffered += 1;
+                Ok(())
+            }
+            None => Err(id),
         }
     }
 
-    /// The output port a flit buffered at this router must take.
-    fn output_for(&self, flit: &Flit) -> Port {
-        let dst = self
-            .mesh
-            .coord_of(flit.dst)
-            .expect("flit destination inside mesh");
-        self.routing
-            .output_port(&self.mesh, self.coord, dst)
-            .expect("coordinates validated at construction")
-    }
-
-    /// Runs one cycle of switch allocation and traversal, removing the
-    /// forwarded flits from their input buffers and consuming credits.
+    /// Runs one cycle of switch allocation and traversal for cycle `now`,
+    /// removing the forwarded flits from their input buffers and consuming
+    /// credits.  Cycles skipped since the previous call (the scheduler only
+    /// visits routers that hold flits) are first replayed into the arbiters
+    /// as idle cycles.
     ///
-    /// Returns at most one [`Forward`] per output port; the caller (the
-    /// network) is responsible for pushing each forwarded flit onto the
-    /// corresponding link or ejection sink and for returning a credit to the
-    /// upstream router of the drained input port.
-    pub fn decide(&mut self) -> Vec<Forward> {
-        let mut forwards = Vec::new();
+    /// Appends at most one [`Forward`] per output port to `forwards` (the
+    /// caller's reusable scratch buffer, which is *not* cleared here); the
+    /// caller (the network) is responsible for pushing each forwarded flit
+    /// onto the corresponding link or ejection sink and for returning a
+    /// credit to the upstream router of the drained input port.
+    pub fn decide(&mut self, arena: &FlitArena, now: Cycle, forwards: &mut Vec<Forward>) {
+        // Catch up on skipped idle cycles.  While a router holds no flits the
+        // dense reference kernel would still have called `decide` every
+        // cycle: outputs with a wormhole hold do nothing (the continuation
+        // branch never consults the arbiter), every other output issues an
+        // idle grant.  Holds and buffer occupancy cannot change while the
+        // router is skipped, so the replay below is exact.
+        let skipped = now.saturating_sub(self.last_decide).saturating_sub(1);
+        if skipped > 0 {
+            for output in Port::ALL {
+                if self.holds[output.index()].is_none() {
+                    self.arbiters[output.index()].idle_for(skipped);
+                }
+            }
+        }
+        self.last_decide = now;
+
         // Inputs already consumed this cycle (an input can feed one output).
         let mut consumed = [false; Port::COUNT];
 
@@ -183,29 +234,35 @@ impl Router {
                 let Some(buffer) = self.inputs[hold.input.index()].as_mut() else {
                     continue;
                 };
-                let matches = buffer.front().is_some_and(|f| f.packet == hold.packet);
+                let matches = buffer
+                    .front()
+                    .is_some_and(|id| arena.get(id).packet == hold.packet);
                 if !matches {
                     continue;
                 }
-                let flit = buffer.pop().expect("front checked above");
+                let id = buffer.pop().expect("front checked above");
+                self.buffered -= 1;
                 consumed[hold.input.index()] = true;
                 if output != Port::Local {
                     self.credits[oi] -= 1;
                 }
-                if flit.kind.is_tail() {
+                if arena.get(id).kind.is_tail() {
                     self.holds[oi] = None;
                 }
                 forwards.push(Forward {
                     input: hold.input,
                     output,
-                    flit,
+                    flit: id,
                 });
                 continue;
             }
 
             // Free output: arbitrate among input ports whose head-of-line flit
-            // is a header routed to this output.
-            let mut requests = Vec::new();
+            // is a header routed to this output.  Fixed-size request set: this
+            // loop runs for every busy router every cycle and must not
+            // allocate.
+            let mut requests = [Port::Local; Port::COUNT];
+            let mut request_count = 0;
             for input in Port::ALL {
                 if consumed[input.index()] {
                     continue;
@@ -216,15 +273,18 @@ impl Router {
                 let Some(front) = buffer.front() else {
                     continue;
                 };
+                let front = arena.get(front);
                 if !front.kind.is_head() {
                     // An orphaned body flit would indicate a protocol bug; the
                     // wormhole hold guarantees this cannot happen.
                     continue;
                 }
-                if self.output_for(front) == output {
-                    requests.push(input);
+                if self.route[front.dst.index()] == output {
+                    requests[request_count] = input;
+                    request_count += 1;
                 }
             }
+            let requests = &requests[..request_count];
             let has_credit = output == Port::Local || self.credits[oi] > 0;
             if requests.is_empty() || !has_credit {
                 // Let the WaW arbiter replenish its counters on idle cycles.
@@ -233,30 +293,30 @@ impl Router {
                 }
                 continue;
             }
-            let Some(winner) = self.arbiters[oi].grant(&requests) else {
+            let Some(winner) = self.arbiters[oi].grant(requests) else {
                 continue;
             };
             let buffer = self.inputs[winner.index()]
                 .as_mut()
                 .expect("winner has a buffer");
-            let flit = buffer.pop().expect("winner had a head flit");
+            let id = buffer.pop().expect("winner had a head flit");
+            self.buffered -= 1;
             consumed[winner.index()] = true;
             if output != Port::Local {
                 self.credits[oi] -= 1;
             }
-            if !flit.kind.is_tail() {
+            if !arena.get(id).kind.is_tail() {
                 self.holds[oi] = Some(Hold {
                     input: winner,
-                    packet: flit.packet,
+                    packet: arena.get(id).packet,
                 });
             }
             forwards.push(Forward {
                 input: winner,
                 output,
-                flit,
+                flit: id,
             });
         }
-        forwards
     }
 }
 
@@ -264,7 +324,7 @@ impl Router {
 mod tests {
     use super::*;
     use wnoc_core::flow::FlowSet;
-    use wnoc_core::{FlitKind, FlowId, MessageId, NodeId};
+    use wnoc_core::{Flit, FlitKind, FlowId, MessageId, NodeId};
 
     fn weights(mesh: &Mesh) -> WeightTable {
         WeightTable::from_flow_set(&FlowSet::all_to_all(mesh).unwrap())
@@ -275,8 +335,8 @@ mod tests {
         Router::new(coord, mesh, policy, &w, 4, 4)
     }
 
-    fn flit(dst: NodeId, kind: FlitKind, packet: u64, seq: u32) -> Flit {
-        Flit {
+    fn flit(arena: &mut FlitArena, dst: NodeId, kind: FlitKind, packet: u64, seq: u32) -> FlitId {
+        arena.alloc(Flit {
             packet: PacketId(packet),
             message: MessageId(packet),
             flow: FlowId(0),
@@ -286,18 +346,34 @@ mod tests {
             seq,
             msg_created: 0,
             injected: 0,
+        })
+    }
+
+    /// Drives `decide` with consecutive cycles starting at 1.
+    struct Clock(Cycle);
+    impl Clock {
+        fn new() -> Self {
+            Self(0)
+        }
+        fn decide(&mut self, r: &mut Router, arena: &FlitArena) -> Vec<Forward> {
+            self.0 += 1;
+            let mut forwards = Vec::new();
+            r.decide(arena, self.0, &mut forwards);
+            forwards
         }
     }
 
     #[test]
     fn single_flit_packet_crosses_in_one_decision() {
         let mesh = Mesh::square(4).unwrap();
+        let mut arena = FlitArena::new();
+        let mut clock = Clock::new();
         let mut r = router(&mesh, Coord::new(1, 1), ArbitrationPolicy::RoundRobin);
         // Destination is the node to the west: (0, 1).
         let dst = mesh.node_id(Coord::new(0, 1)).unwrap();
-        r.accept(Port::Local, flit(dst, FlitKind::HeadTail, 1, 0))
+        r.accept(Port::Local, flit(&mut arena, dst, FlitKind::HeadTail, 1, 0))
             .unwrap();
-        let forwards = r.decide();
+        let forwards = clock.decide(&mut r, &arena);
         assert_eq!(forwards.len(), 1);
         assert_eq!(forwards[0].output, Port::Mesh(wnoc_core::Direction::West));
         assert_eq!(forwards[0].input, Port::Local);
@@ -309,15 +385,17 @@ mod tests {
     #[test]
     fn ejection_at_destination_consumes_no_credit() {
         let mesh = Mesh::square(4).unwrap();
+        let mut arena = FlitArena::new();
+        let mut clock = Clock::new();
         let coord = Coord::new(2, 2);
         let mut r = router(&mesh, coord, ArbitrationPolicy::RoundRobin);
         let dst = mesh.node_id(coord).unwrap();
         r.accept(
             Port::Mesh(wnoc_core::Direction::East),
-            flit(dst, FlitKind::HeadTail, 9, 0),
+            flit(&mut arena, dst, FlitKind::HeadTail, 9, 0),
         )
         .unwrap();
-        let forwards = r.decide();
+        let forwards = clock.decide(&mut r, &arena);
         assert_eq!(forwards.len(), 1);
         assert_eq!(forwards[0].output, Port::Local);
         assert_eq!(r.credits(Port::Local), 4);
@@ -326,27 +404,38 @@ mod tests {
     #[test]
     fn wormhole_hold_keeps_output_for_the_whole_packet() {
         let mesh = Mesh::square(4).unwrap();
+        let mut arena = FlitArena::new();
+        let mut clock = Clock::new();
         let mut r = router(&mesh, Coord::new(1, 1), ArbitrationPolicy::RoundRobin);
         let west_dst = mesh.node_id(Coord::new(0, 1)).unwrap();
         // A three-flit packet from the local port, and a competing single-flit
         // packet from the east input, both heading west.
-        r.accept(Port::Local, flit(west_dst, FlitKind::Head, 1, 0))
-            .unwrap();
-        r.accept(Port::Local, flit(west_dst, FlitKind::Body, 1, 1))
-            .unwrap();
-        r.accept(Port::Local, flit(west_dst, FlitKind::Tail, 1, 2))
-            .unwrap();
+        r.accept(
+            Port::Local,
+            flit(&mut arena, west_dst, FlitKind::Head, 1, 0),
+        )
+        .unwrap();
+        r.accept(
+            Port::Local,
+            flit(&mut arena, west_dst, FlitKind::Body, 1, 1),
+        )
+        .unwrap();
+        r.accept(
+            Port::Local,
+            flit(&mut arena, west_dst, FlitKind::Tail, 1, 2),
+        )
+        .unwrap();
         r.accept(
             Port::Mesh(wnoc_core::Direction::East),
-            flit(west_dst, FlitKind::HeadTail, 2, 0),
+            flit(&mut arena, west_dst, FlitKind::HeadTail, 2, 0),
         )
         .unwrap();
 
         let mut order = Vec::new();
         for _ in 0..4 {
-            for f in r.decide() {
+            for f in clock.decide(&mut r, &arena) {
                 if f.output == Port::Mesh(wnoc_core::Direction::West) {
-                    order.push(f.flit.packet.0);
+                    order.push(arena.get(f.flit).packet.0);
                 }
             }
         }
@@ -362,6 +451,8 @@ mod tests {
     #[test]
     fn blocked_output_stops_forwarding_when_credits_exhausted() {
         let mesh = Mesh::square(4).unwrap();
+        let mut arena = FlitArena::new();
+        let mut clock = Clock::new();
         let w = weights(&mesh);
         // Downstream buffer of only 1 credit.
         let mut r = Router::new(
@@ -373,28 +464,35 @@ mod tests {
             1,
         );
         let west_dst = mesh.node_id(Coord::new(0, 1)).unwrap();
-        r.accept(Port::Local, flit(west_dst, FlitKind::Head, 1, 0))
-            .unwrap();
-        r.accept(Port::Local, flit(west_dst, FlitKind::Tail, 1, 1))
-            .unwrap();
-        assert_eq!(r.decide().len(), 1);
+        r.accept(
+            Port::Local,
+            flit(&mut arena, west_dst, FlitKind::Head, 1, 0),
+        )
+        .unwrap();
+        r.accept(
+            Port::Local,
+            flit(&mut arena, west_dst, FlitKind::Tail, 1, 1),
+        )
+        .unwrap();
+        assert_eq!(clock.decide(&mut r, &arena).len(), 1);
         // Credit exhausted: the tail cannot move until a credit returns.
-        assert_eq!(r.decide().len(), 0);
+        assert_eq!(clock.decide(&mut r, &arena).len(), 0);
         r.credit_return(Port::Mesh(wnoc_core::Direction::West));
-        assert_eq!(r.decide().len(), 1);
+        assert_eq!(clock.decide(&mut r, &arena).len(), 1);
         assert!(r.is_idle());
     }
 
     #[test]
     fn nonexistent_port_rejects_flits() {
         let mesh = Mesh::square(4).unwrap();
+        let mut arena = FlitArena::new();
         let mut r = router(&mesh, Coord::new(0, 0), ArbitrationPolicy::RoundRobin);
         let dst = mesh.node_id(Coord::new(3, 3)).unwrap();
         // The corner router has no west or north port.
         assert!(r
             .accept(
                 Port::Mesh(wnoc_core::Direction::West),
-                flit(dst, FlitKind::HeadTail, 1, 0)
+                flit(&mut arena, dst, FlitKind::HeadTail, 1, 0)
             )
             .is_err());
         assert_eq!(r.free_slots(Port::Mesh(wnoc_core::Direction::North)), 0);
@@ -404,18 +502,80 @@ mod tests {
     #[test]
     fn two_inputs_different_outputs_forward_in_the_same_cycle() {
         let mesh = Mesh::square(4).unwrap();
+        let mut arena = FlitArena::new();
+        let mut clock = Clock::new();
         let mut r = router(&mesh, Coord::new(1, 1), ArbitrationPolicy::RoundRobin);
         let west_dst = mesh.node_id(Coord::new(0, 1)).unwrap();
         let south_dst = mesh.node_id(Coord::new(1, 3)).unwrap();
-        r.accept(Port::Local, flit(west_dst, FlitKind::HeadTail, 1, 0))
-            .unwrap();
         r.accept(
-            Port::Mesh(wnoc_core::Direction::North),
-            flit(south_dst, FlitKind::HeadTail, 2, 0),
+            Port::Local,
+            flit(&mut arena, west_dst, FlitKind::HeadTail, 1, 0),
         )
         .unwrap();
-        let forwards = r.decide();
+        r.accept(
+            Port::Mesh(wnoc_core::Direction::North),
+            flit(&mut arena, south_dst, FlitKind::HeadTail, 2, 0),
+        )
+        .unwrap();
+        let forwards = clock.decide(&mut r, &arena);
         assert_eq!(forwards.len(), 2);
+    }
+
+    #[test]
+    fn skipped_idle_cycles_replenish_waw_credits_exactly() {
+        // A WaW router skipped for k cycles must behave as if `decide` had
+        // been called k times on an empty router: its arbiter counters creep
+        // back to their quotas.
+        let mesh = Mesh::square(2).unwrap();
+        let coord = Coord::new(0, 0);
+        let dst = mesh.node_id(coord).unwrap();
+        let east = Port::Mesh(wnoc_core::Direction::East);
+        let south = Port::Mesh(wnoc_core::Direction::South);
+
+        let run = |skip: bool| -> Vec<u64> {
+            let mut arena = FlitArena::new();
+            let mut r = router(&mesh, coord, ArbitrationPolicy::Waw);
+            let mut grants = Vec::new();
+            let mut packet = 0u64;
+            let mut scratch = Vec::new();
+            for cycle in 1..=50u64 {
+                // Two contention phases (counters drain under competition)
+                // separated by an idle window in which the router is empty.
+                let inject = cycle <= 6 || (31..=36).contains(&cycle);
+                let idle_window = (15..=30).contains(&cycle);
+                if inject {
+                    if r.free_slots(east) > 0 {
+                        packet += 1;
+                        r.accept(east, flit(&mut arena, dst, FlitKind::HeadTail, packet, 0))
+                            .unwrap();
+                    }
+                    if r.free_slots(south) > 0 {
+                        packet += 1;
+                        r.accept(south, flit(&mut arena, dst, FlitKind::HeadTail, packet, 0))
+                            .unwrap();
+                    }
+                }
+                if idle_window {
+                    // Premise of skipping: the router really is empty here.
+                    assert_eq!(r.buffered_flits(), 0, "cycle {cycle}");
+                }
+                // The dense kernel visits every cycle; the active-set kernel
+                // skips the idle window and catches up on re-entry.
+                if !skip || !idle_window {
+                    scratch.clear();
+                    r.decide(&arena, cycle, &mut scratch);
+                    for f in &scratch {
+                        if f.output == Port::Local {
+                            grants.push(arena.get(f.flit).packet.0);
+                        }
+                    }
+                }
+            }
+            grants
+        };
+        let dense = run(false);
+        assert!(dense.len() >= 18, "both phases produced grants");
+        assert_eq!(dense, run(true));
     }
 
     #[test]
@@ -425,6 +585,8 @@ mod tests {
         // (2 sources).  Under saturation the south input must receive roughly
         // two thirds of the grants.
         let mesh = Mesh::square(2).unwrap();
+        let mut arena = FlitArena::new();
+        let mut clock = Clock::new();
         let coord = Coord::new(0, 0);
         let mut r = router(&mesh, coord, ArbitrationPolicy::Waw);
         let dst = mesh.node_id(coord).unwrap();
@@ -437,15 +599,15 @@ mod tests {
             // Keep both inputs saturated with single-flit packets.
             while r.free_slots(east) > 0 {
                 packet += 1;
-                r.accept(east, flit(dst, FlitKind::HeadTail, packet, 0))
+                r.accept(east, flit(&mut arena, dst, FlitKind::HeadTail, packet, 0))
                     .unwrap();
             }
             while r.free_slots(south) > 0 {
                 packet += 1;
-                r.accept(south, flit(dst, FlitKind::HeadTail, packet, 0))
+                r.accept(south, flit(&mut arena, dst, FlitKind::HeadTail, packet, 0))
                     .unwrap();
             }
-            for f in r.decide() {
+            for f in clock.decide(&mut r, &arena) {
                 if f.output == Port::Local {
                     match f.input {
                         p if p == east => east_grants += 1,

@@ -107,7 +107,7 @@ impl Simulation {
     /// # Errors
     ///
     /// Returns an error if the configuration is invalid.
-    pub fn new(mesh: &Mesh, config: NocConfig, flows: &FlowSet) -> Result<Self> {
+    pub fn new(mesh: Mesh, config: NocConfig, flows: &FlowSet) -> Result<Self> {
         Ok(Self {
             network: Network::new(mesh, config, flows)?,
         })
@@ -128,6 +128,18 @@ impl Simulation {
         self.network.stats()
     }
 
+    /// The shared open-loop driver: offers the generator's messages and steps
+    /// the network for `cycles` cycles (no drain).
+    fn drive_traffic(&mut self, traffic: &mut RandomTraffic, cycles: u64) -> Result<()> {
+        for cycle in 0..cycles {
+            for msg in traffic.messages_for_cycle(cycle) {
+                self.network.offer(msg.src, msg.dst, msg.size_flits)?;
+            }
+            self.network.step();
+        }
+        Ok(())
+    }
+
     /// Runs open-loop random traffic for `cycles` cycles and then drains the
     /// network (up to `drain_limit` extra cycles).  Returns `true` if the
     /// network drained completely.
@@ -142,13 +154,8 @@ impl Simulation {
         cycles: u64,
         drain_limit: u64,
     ) -> Result<bool> {
-        for cycle in 0..cycles {
-            for msg in traffic.messages_for_cycle(cycle) {
-                self.network.offer(msg.src, msg.dst, msg.size_flits)?;
-            }
-            self.network.step();
-        }
-        Ok(self.network.run_until_drained(drain_limit))
+        self.drive_traffic(traffic, cycles)?;
+        Ok(self.network.step_until_quiescent(drain_limit).is_ok())
     }
 
     /// Runs the network under *saturation* for the given flows: every flow's
@@ -247,31 +254,38 @@ impl Simulation {
         by_src.sort_by_key(|(src, _)| *src);
 
         let mut next: Vec<usize> = vec![0; by_src.len()];
-        let mut outstanding: HashMap<NodeId, bool> =
-            by_src.iter().map(|(src, _)| (*src, false)).collect();
+        let mut outstanding: Vec<bool> = vec![false; by_src.len()];
+        // Source node index -> probing slot, so completing a delivery is an
+        // array lookup instead of a hash probe (this loop runs every cycle
+        // over every source).
+        let mut slot_of_node: Vec<u32> = vec![u32::MAX; self.network.mesh().router_count()];
+        for (slot, (src, _)) in by_src.iter().enumerate() {
+            slot_of_node[src.index()] = slot as u32;
+        }
 
+        // Reused across cycles so polling deliveries never reallocates.
+        let mut arrived = Vec::new();
         for _ in 0..cycles {
-            for (slot, (src, list)) in by_src.iter().enumerate() {
-                if !outstanding[src] {
+            for (slot, (_, list)) in by_src.iter().enumerate() {
+                if !outstanding[slot] {
                     let flow = flows
                         .flow(list[next[slot] % list.len()])
                         .expect("flow id from the same set");
                     next[slot] += 1;
                     self.network.offer(flow.src, flow.dst, message_flits)?;
-                    *outstanding.get_mut(src).expect("registered above") = true;
+                    outstanding[slot] = true;
                 }
             }
             self.network.step();
-            for delivered in self.network.take_delivered() {
-                if let Some(flag) = outstanding.get_mut(&delivered.src) {
-                    *flag = false;
+            self.network.drain_delivered_into(&mut arrived);
+            for delivered in arrived.drain(..) {
+                let slot = slot_of_node[delivered.src.index()];
+                if slot != u32::MAX {
+                    outstanding[slot as usize] = false;
                 }
             }
         }
-        let drain_limit = 4 * cycles + 10_000;
-        if !self.network.run_until_drained(drain_limit) {
-            return Err(wnoc_core::Error::SimulationStalled { drain_limit });
-        }
+        self.network.step_until_quiescent(4 * cycles + 10_000)?;
         Ok(SaturatedReport {
             measured_cycles: cycles,
             per_flow: self.network.stats().traversal_latency.clone(),
@@ -296,9 +310,8 @@ impl Simulation {
         cycles: u64,
         drain_limit: u64,
     ) -> Result<SaturatedReport> {
-        if !self.run_traffic(traffic, cycles, drain_limit)? {
-            return Err(wnoc_core::Error::SimulationStalled { drain_limit });
-        }
+        self.drive_traffic(traffic, cycles)?;
+        self.network.step_until_quiescent(drain_limit)?;
         Ok(SaturatedReport {
             measured_cycles: cycles,
             per_flow: self.network.stats().traversal_latency.clone(),
@@ -313,14 +326,14 @@ impl Simulation {
     ///
     /// Returns an error if `hotspot` lies outside the mesh.
     pub fn saturated_hotspot(
-        mesh: &Mesh,
+        mesh: Mesh,
         config: NocConfig,
         hotspot: Coord,
         message_flits: u32,
         warmup: u64,
         measure: u64,
     ) -> Result<SaturatedReport> {
-        let flows = FlowSet::all_to_one(mesh, hotspot)?;
+        let flows = FlowSet::all_to_one(&mesh, hotspot)?;
         let mut sim = Simulation::new(mesh, config, &flows)?;
         sim.run_saturated(&flows, message_flits, warmup, measure)
     }
@@ -335,9 +348,9 @@ mod tests {
     fn light_random_traffic_drains() {
         let mesh = Mesh::square(4).unwrap();
         let flows = FlowSet::all_to_all(&mesh).unwrap();
-        let mut sim = Simulation::new(&mesh, NocConfig::regular(4), &flows).unwrap();
+        let mut sim = Simulation::new(mesh, NocConfig::regular(4), &flows).unwrap();
         let mut traffic =
-            RandomTraffic::new(&mesh, TrafficPattern::UniformRandom, 0.02, 4, 3).unwrap();
+            RandomTraffic::new(mesh, TrafficPattern::UniformRandom, 0.02, 4, 3).unwrap();
         let drained = sim.run_traffic(&mut traffic, 500, 10_000).unwrap();
         assert!(drained);
         let stats = sim.stats();
@@ -351,7 +364,7 @@ mod tests {
         // far-away nodes much worse observed worst latencies than near nodes.
         let mesh = Mesh::square(4).unwrap();
         let report = Simulation::saturated_hotspot(
-            &mesh,
+            mesh,
             NocConfig::regular(1),
             Coord::from_row_col(0, 0),
             1,
@@ -373,10 +386,10 @@ mod tests {
         let mesh = Mesh::square(4).unwrap();
         let hotspot = Coord::from_row_col(0, 0);
         let regular =
-            Simulation::saturated_hotspot(&mesh, NocConfig::regular(1), hotspot, 1, 2_000, 4_000)
+            Simulation::saturated_hotspot(mesh, NocConfig::regular(1), hotspot, 1, 2_000, 4_000)
                 .unwrap();
         let proposed =
-            Simulation::saturated_hotspot(&mesh, NocConfig::waw_wap(), hotspot, 1, 2_000, 4_000)
+            Simulation::saturated_hotspot(mesh, NocConfig::waw_wap(), hotspot, 1, 2_000, 4_000)
                 .unwrap();
         // The spread between the worst- and best-served flows shrinks with
         // WaW+WaP (the core fairness claim of the paper).
@@ -393,7 +406,7 @@ mod tests {
         let mesh = Mesh::square(3).unwrap();
         let flows = FlowSet::all_to_one(&mesh, Coord::from_row_col(0, 0)).unwrap();
         let run = || {
-            let mut sim = Simulation::new(&mesh, NocConfig::regular(1), &flows).unwrap();
+            let mut sim = Simulation::new(mesh, NocConfig::regular(1), &flows).unwrap();
             sim.run_closed_loop(&flows, 1, 2_000).unwrap()
         };
         let a = run();
@@ -404,7 +417,7 @@ mod tests {
         assert_eq!(a.per_flow_max().len(), flows.len());
         // Self-queueing is excluded, so the worst observation sits below the
         // saturated run's (which includes input-buffer queueing delay).
-        let mut sat = Simulation::new(&mesh, NocConfig::regular(1), &flows).unwrap();
+        let mut sat = Simulation::new(mesh, NocConfig::regular(1), &flows).unwrap();
         let saturated = sat.run_saturated(&flows, 1, 1_000, 2_000).unwrap();
         assert!(
             a.max() <= saturated.max(),
@@ -420,7 +433,7 @@ mod tests {
         // Both directions between every node and R(0,0): each non-memory node
         // sources one flow, the memory node sources eight.
         let flows = FlowSet::to_and_from_endpoints(&mesh, &[Coord::from_row_col(0, 0)]).unwrap();
-        let mut sim = Simulation::new(&mesh, NocConfig::waw_wap(), &flows).unwrap();
+        let mut sim = Simulation::new(mesh, NocConfig::waw_wap(), &flows).unwrap();
         let report = sim.run_closed_loop(&flows, 1, 4_000).unwrap();
         // The memory node cycles through its flows, so all of them are hit.
         assert_eq!(report.per_flow_max().len(), flows.len());
@@ -431,9 +444,9 @@ mod tests {
         let mesh = Mesh::square(4).unwrap();
         let flows = FlowSet::all_to_all(&mesh).unwrap();
         let run = |seed: u64| {
-            let mut sim = Simulation::new(&mesh, NocConfig::regular(4), &flows).unwrap();
+            let mut sim = Simulation::new(mesh, NocConfig::regular(4), &flows).unwrap();
             let mut traffic =
-                RandomTraffic::new(&mesh, TrafficPattern::UniformRandom, 0.05, 4, seed).unwrap();
+                RandomTraffic::new(mesh, TrafficPattern::UniformRandom, 0.05, 4, seed).unwrap();
             sim.run_traffic_report(&mut traffic, 400, 10_000).unwrap()
         };
         assert_eq!(run(11), run(11));

@@ -7,6 +7,8 @@ use serde::{Deserialize, Serialize};
 
 use wnoc_core::{Coord, Cycle, FlowId, Port};
 
+use crate::hash::FxBuildHasher;
+
 /// Running summary of a latency distribution (count, sum, min, max).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct LatencyStats {
@@ -96,7 +98,9 @@ pub struct NetworkStats {
     /// flit) per flow.
     pub traversal_latency: HashMap<FlowId, LatencyStats>,
     /// Flits forwarded per (router, output port), for utilisation reports.
-    pub port_flits: HashMap<(Coord, Port), u64>,
+    /// Keyed with the deterministic [`FxBuildHasher`](crate::hash): this map
+    /// is bumped once per flit per hop, squarely on the simulator's hot path.
+    pub port_flits: HashMap<(Coord, Port), u64, FxBuildHasher>,
 }
 
 impl NetworkStats {

@@ -46,7 +46,7 @@ pub enum TrafficPattern {
 /// use wnoc_sim::traffic::{RandomTraffic, TrafficPattern};
 ///
 /// let mesh = Mesh::square(4)?;
-/// let mut gen = RandomTraffic::new(&mesh, TrafficPattern::UniformRandom, 0.1, 4, 42)?;
+/// let mut gen = RandomTraffic::new(mesh, TrafficPattern::UniformRandom, 0.1, 4, 42)?;
 /// let offered = gen.messages_for_cycle(0);
 /// assert!(offered.iter().all(|m| m.src != m.dst));
 /// # Ok::<(), wnoc_core::Error>(())
@@ -69,7 +69,7 @@ impl RandomTraffic {
     /// `(0.0, 1.0]` or the message size is zero, and a bounds error if an
     /// `AllToOne` destination lies outside the mesh.
     pub fn new(
-        mesh: &Mesh,
+        mesh: Mesh,
         pattern: TrafficPattern,
         injection_rate: f64,
         message_flits: u32,
@@ -87,7 +87,7 @@ impl RandomTraffic {
             mesh.check(dst)?;
         }
         Ok(Self {
-            mesh: mesh.clone(),
+            mesh,
             pattern,
             injection_rate,
             message_flits,
@@ -129,9 +129,11 @@ impl RandomTraffic {
 
     /// The messages every node decides to generate in this cycle.
     pub fn messages_for_cycle(&mut self, _cycle: Cycle) -> Vec<OfferedTraffic> {
-        let coords: Vec<Coord> = self.mesh.routers().collect();
+        // The mesh is `Copy`, so iterating a local copy frees `self` for the
+        // RNG calls below without collecting the coordinates first.
+        let mesh = self.mesh;
         let mut offered = Vec::new();
-        for src in coords {
+        for src in mesh.routers() {
             if self.rng.gen_bool(self.injection_rate) {
                 if let Some(dst) = self.destination(src) {
                     offered.push(OfferedTraffic {
@@ -157,11 +159,11 @@ mod tests {
     #[test]
     fn rejects_bad_parameters() {
         let m = mesh();
-        assert!(RandomTraffic::new(&m, TrafficPattern::UniformRandom, 0.0, 4, 1).is_err());
-        assert!(RandomTraffic::new(&m, TrafficPattern::UniformRandom, 1.5, 4, 1).is_err());
-        assert!(RandomTraffic::new(&m, TrafficPattern::UniformRandom, 0.5, 0, 1).is_err());
+        assert!(RandomTraffic::new(m, TrafficPattern::UniformRandom, 0.0, 4, 1).is_err());
+        assert!(RandomTraffic::new(m, TrafficPattern::UniformRandom, 1.5, 4, 1).is_err());
+        assert!(RandomTraffic::new(m, TrafficPattern::UniformRandom, 0.5, 0, 1).is_err());
         assert!(RandomTraffic::new(
-            &m,
+            m,
             TrafficPattern::AllToOne {
                 dst: Coord::new(9, 9)
             },
@@ -176,7 +178,7 @@ mod tests {
     fn all_to_one_targets_the_hotspot() {
         let m = mesh();
         let dst = Coord::from_row_col(0, 0);
-        let mut gen = RandomTraffic::new(&m, TrafficPattern::AllToOne { dst }, 1.0, 4, 7).unwrap();
+        let mut gen = RandomTraffic::new(m, TrafficPattern::AllToOne { dst }, 1.0, 4, 7).unwrap();
         let offered = gen.messages_for_cycle(0);
         // Every node except the hotspot generates a message to the hotspot.
         assert_eq!(offered.len(), 15);
@@ -187,7 +189,7 @@ mod tests {
     #[test]
     fn transpose_is_a_permutation() {
         let m = mesh();
-        let mut gen = RandomTraffic::new(&m, TrafficPattern::Transpose, 1.0, 2, 7).unwrap();
+        let mut gen = RandomTraffic::new(m, TrafficPattern::Transpose, 1.0, 2, 7).unwrap();
         let offered = gen.messages_for_cycle(0);
         // Diagonal nodes map to themselves and generate nothing.
         assert_eq!(offered.len(), 12);
@@ -200,7 +202,7 @@ mod tests {
     #[test]
     fn complement_maps_corners_to_corners() {
         let m = mesh();
-        let mut gen = RandomTraffic::new(&m, TrafficPattern::Complement, 1.0, 2, 7).unwrap();
+        let mut gen = RandomTraffic::new(m, TrafficPattern::Complement, 1.0, 2, 7).unwrap();
         let offered = gen.messages_for_cycle(0);
         let corner = m.node_id(Coord::new(0, 0)).unwrap();
         let opposite = m.node_id(Coord::new(3, 3)).unwrap();
@@ -210,8 +212,8 @@ mod tests {
     #[test]
     fn injection_rate_controls_volume() {
         let m = mesh();
-        let mut low = RandomTraffic::new(&m, TrafficPattern::UniformRandom, 0.05, 4, 11).unwrap();
-        let mut high = RandomTraffic::new(&m, TrafficPattern::UniformRandom, 0.8, 4, 11).unwrap();
+        let mut low = RandomTraffic::new(m, TrafficPattern::UniformRandom, 0.05, 4, 11).unwrap();
+        let mut high = RandomTraffic::new(m, TrafficPattern::UniformRandom, 0.8, 4, 11).unwrap();
         let count = |gen: &mut RandomTraffic| -> usize {
             (0..200).map(|c| gen.messages_for_cycle(c).len()).sum()
         };
@@ -226,8 +228,8 @@ mod tests {
     #[test]
     fn seeded_generators_are_deterministic() {
         let m = mesh();
-        let mut a = RandomTraffic::new(&m, TrafficPattern::UniformRandom, 0.3, 4, 99).unwrap();
-        let mut b = RandomTraffic::new(&m, TrafficPattern::UniformRandom, 0.3, 4, 99).unwrap();
+        let mut a = RandomTraffic::new(m, TrafficPattern::UniformRandom, 0.3, 4, 99).unwrap();
+        let mut b = RandomTraffic::new(m, TrafficPattern::UniformRandom, 0.3, 4, 99).unwrap();
         for cycle in 0..50 {
             assert_eq!(a.messages_for_cycle(cycle), b.messages_for_cycle(cycle));
         }

@@ -22,7 +22,7 @@ fn config_strategy() -> impl Strategy<Value = NocConfig> {
 fn build(side: u16, config: NocConfig) -> Network {
     let mesh = Mesh::square(side).unwrap();
     let flows = FlowSet::all_to_one(&mesh, Coord::from_row_col(0, 0)).unwrap();
-    Network::new(&mesh, config, &flows).unwrap()
+    Network::new(mesh, config, &flows).unwrap()
 }
 
 proptest! {
@@ -91,9 +91,9 @@ proptest! {
         let run = || {
             let mesh = Mesh::square(4).unwrap();
             let flows = FlowSet::all_to_one(&mesh, Coord::from_row_col(0, 0)).unwrap();
-            let mut network = Network::new(&mesh, NocConfig::waw_wap(), &flows).unwrap();
+            let mut network = Network::new(mesh, NocConfig::waw_wap(), &flows).unwrap();
             let mut traffic = RandomTraffic::new(
-                &mesh,
+                mesh,
                 TrafficPattern::UniformRandom,
                 f64::from(rate) / 100.0,
                 2,
@@ -125,7 +125,7 @@ proptest! {
     fn latencies_respect_physical_lower_bounds(config in config_strategy(), seed in any::<u64>()) {
         let mesh = Mesh::square(4).unwrap();
         let flows = FlowSet::all_to_one(&mesh, Coord::from_row_col(0, 0)).unwrap();
-        let mut network = Network::new(&mesh, config, &flows).unwrap();
+        let mut network = Network::new(mesh, config, &flows).unwrap();
         let nodes = mesh.router_count() as u64;
         let src_index = 1 + (seed % (nodes - 1)) as usize;
         let src = NodeId(src_index);

@@ -1,0 +1,42 @@
+//! Throughput probe of the conformance harness' hottest scenario shape: the
+//! 8×8 all-to-one closed-loop probing campaign (one outstanding message per
+//! source — the idle-heavy workload the active-set kernel accelerates).
+//!
+//! Prints simulated cycles per second over a fixed batch of runs, for both
+//! designs.  Used to compare kernel generations; not a paper artifact.
+
+use std::time::Instant;
+
+use wnoc::core::flow::FlowSet;
+use wnoc::core::{Coord, Mesh, NocConfig};
+use wnoc::sim::Simulation;
+
+fn main() -> Result<(), wnoc::core::Error> {
+    let mesh = Mesh::square(8)?;
+    let hotspot = Coord::from_row_col(0, 0);
+    let flows = FlowSet::all_to_one(&mesh, hotspot)?;
+    // The cycle budget the conformance sampler assigns this platform.
+    let cycles = 1_000 + 30 * flows.len() as u64;
+    let repeats = 40;
+
+    for (label, config, message_flits) in [
+        ("waw_wap ", NocConfig::waw_wap(), 1u32),
+        ("regular4", NocConfig::regular(4), 4u32),
+    ] {
+        let start = Instant::now();
+        let mut delivered = 0u64;
+        for _ in 0..repeats {
+            let mut sim = Simulation::new(mesh, config, &flows)?;
+            let report = sim.run_closed_loop(&flows, message_flits, cycles)?;
+            delivered += report.overall().count;
+        }
+        let elapsed = start.elapsed().as_secs_f64();
+        let sim_cycles = repeats * cycles;
+        println!(
+            "{label}: {repeats} runs x {cycles} cycles in {elapsed:.3}s -> \
+             {:.0} cycles/sec ({delivered} messages observed)",
+            sim_cycles as f64 / elapsed
+        );
+    }
+    Ok(())
+}

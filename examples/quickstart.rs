@@ -19,7 +19,7 @@ fn main() -> Result<(), wnoc::core::Error> {
 
     // --- Cycle-accurate view: send one 4-flit cache line from the far corner.
     for config in [NocConfig::regular(4), NocConfig::waw_wap()] {
-        let mut noc = Network::new(&mesh, config, &flows)?;
+        let mut noc = Network::new(mesh, config, &flows)?;
         let src = mesh.node_id(Coord::from_row_col(7, 7))?;
         let dst = mesh.node_id(memory)?;
         noc.offer(src, dst, 4)?;

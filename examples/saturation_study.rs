@@ -13,7 +13,7 @@ fn main() -> Result<(), wnoc::core::Error> {
     println!("Saturated all-to-R(0,0) hotspot on a 4x4 mesh, 1-flit packets\n");
     println!("design         | worst flow max | best flow max | spread");
     for config in [NocConfig::regular(1), NocConfig::waw_wap()] {
-        let report = Simulation::saturated_hotspot(&mesh, config, hotspot, 1, 5_000, 10_000)?;
+        let report = Simulation::saturated_hotspot(mesh, config, hotspot, 1, 5_000, 10_000)?;
         let spread = report.max() as f64 / report.min_of_max().max(1) as f64;
         println!(
             "{:<14} | {:>14} | {:>13} | {:>5.1}x",

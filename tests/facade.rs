@@ -19,7 +19,7 @@ fn reexports_resolve_and_are_the_underlying_types() {
     let hotspot = wnoc::core::Coord::from_row_col(0, 0);
     let flows = wnoc::core::FlowSet::all_to_one(&mesh, hotspot).unwrap();
     let network: wnoc::sim::network::Network =
-        wnoc_sim::network::Network::new(&mesh, config, &flows).unwrap();
+        wnoc_sim::network::Network::new(mesh, config, &flows).unwrap();
     assert_eq!(network.stats().messages_delivered, 0);
 
     // `wnoc::manycore` is `wnoc_manycore`.

@@ -88,7 +88,7 @@ fn weighted_bound_dominates_observed_latency() {
 
     for probe in [Coord::from_row_col(3, 3), Coord::from_row_col(0, 1)] {
         let probe_node = mesh.node_id(probe).unwrap();
-        let mut sim = Simulation::new(&mesh, NocConfig::waw_wap(), &flows).unwrap();
+        let mut sim = Simulation::new(mesh, NocConfig::waw_wap(), &flows).unwrap();
         let background: Vec<_> = flows
             .flows()
             .iter()
@@ -148,8 +148,7 @@ fn waw_wap_equalises_observed_service() {
     let mesh = Mesh::square(4).unwrap();
     let hotspot = Coord::from_row_col(0, 0);
     let spread = |config: NocConfig| -> f64 {
-        let report =
-            Simulation::saturated_hotspot(&mesh, config, hotspot, 1, 3_000, 6_000).unwrap();
+        let report = Simulation::saturated_hotspot(mesh, config, hotspot, 1, 3_000, 6_000).unwrap();
         report.max() as f64 / report.min_of_max().max(1) as f64
     };
     let regular_spread = spread(NocConfig::regular(1));
@@ -168,7 +167,7 @@ fn simulation_is_deterministic() {
         let mesh = Mesh::square(4).unwrap();
         let hotspot = Coord::from_row_col(0, 0);
         let report =
-            Simulation::saturated_hotspot(&mesh, NocConfig::waw_wap(), hotspot, 1, 1_000, 2_000)
+            Simulation::saturated_hotspot(mesh, NocConfig::waw_wap(), hotspot, 1, 1_000, 2_000)
                 .unwrap();
         (report.max(), report.min_of_max())
     };
@@ -182,7 +181,7 @@ fn zero_load_latency_consistency() {
     let mesh = Mesh::square(8).unwrap();
     let memory = Coord::from_row_col(0, 0);
     let flows = FlowSet::all_to_one(&mesh, memory).unwrap();
-    let mut sim = Simulation::new(&mesh, NocConfig::regular(4), &flows).unwrap();
+    let mut sim = Simulation::new(mesh, NocConfig::regular(4), &flows).unwrap();
     let src = mesh.node_id(Coord::from_row_col(7, 7)).unwrap();
     let dst = mesh.node_id(memory).unwrap();
     sim.network_mut().offer(src, dst, 1).unwrap();
