@@ -1,0 +1,20 @@
+//! Bound-vs-depth sweep (`B1`): buffer depth as a first-class design axis.
+//!
+//! Sweeps uniform router input-buffer depths {1, 2, 4, 8, ∞-equivalent} over
+//! the all-to-one hotspot platform on the 4×4 and 8×8 meshes, for both the
+//! regular design and WaW + WaP, printing observed closed-loop worst
+//! latencies next to the paper-form, buffer-aware and backpressured analytic
+//! bounds (see `wnoc_bench::buffer_sweep`).  No arguments; the output is
+//! fully deterministic and golden-snapshot-tested.
+
+use wnoc_bench::buffer_sweep::BufferSweepTable;
+
+fn main() {
+    match BufferSweepTable::generate() {
+        Ok(table) => print!("{}", table.render()),
+        Err(error) => {
+            eprintln!("buffer sweep failed: {error}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -2,12 +2,17 @@
 //! every analytic WCTT bound on a randomized, seeded scenario campaign, run on
 //! the parallel campaign runner.
 //!
-//! Usage: `expt-conformance [--scenarios N] [--seed S] [--threads T]`
+//! Usage: `expt-conformance [--scenarios N] [--seed S] [--threads T]
+//!                           [--buffer-depths] [--report PATH]`
 //!
-//! Defaults: 200 scenarios, seed 7, one worker per available core.  The
-//! stdout summary depends only on `(scenarios, seed)` — never on the worker
-//! count — so it is snapshot-testable; timing goes to stderr.  Exits non-zero
-//! if any dominance or ordering violation is found.
+//! Defaults: 200 scenarios, seed 7, one worker per available core.  With
+//! `--buffer-depths` the campaign sweeps the buffer-depth dimension as well
+//! (uniform depths {1, 2, 4, 8, ∞-equivalent} plus seeded heterogeneous
+//! per-port assignments); with `--report PATH` the machine-readable JSON
+//! report is written to PATH (the nightly CI artifact).  The stdout summary
+//! depends only on `(scenarios, seed, dimension)` — never on the worker
+//! count — so it is snapshot-testable; timing goes to stderr.  Exits
+//! non-zero if any dominance or ordering violation is found.
 
 use std::time::Instant;
 
@@ -21,6 +26,8 @@ fn main() {
     let mut threads: usize = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
+    let mut buffer_depths = false;
+    let mut report_path: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
         let mut value = |flag: &str| {
@@ -39,18 +46,26 @@ fn main() {
                     .parse()
                     .expect("--threads takes a number");
             }
+            "--buffer-depths" => buffer_depths = true,
+            "--report" => report_path = Some(value("--report")),
             unknown => {
                 eprintln!(
                     "unknown argument {unknown}; usage: \
-                     expt-conformance [--scenarios N] [--seed S] [--threads T]"
+                     expt-conformance [--scenarios N] [--seed S] [--threads T] \
+                     [--buffer-depths] [--report PATH]"
                 );
                 std::process::exit(2);
             }
         }
     }
 
+    let campaign = if buffer_depths {
+        Campaign::buffer_sweep(seed, scenarios)
+    } else {
+        Campaign::new(seed, scenarios)
+    };
     let start = Instant::now();
-    let report = match Campaign::new(seed, scenarios).run(threads) {
+    let report = match campaign.run(threads) {
         Ok(report) => report,
         Err(error) => {
             // The error carries the failing scenario's label plus the full
@@ -64,6 +79,12 @@ fn main() {
         "campaign of {scenarios} scenarios took {:.2?} on {threads} thread(s)",
         start.elapsed()
     );
+
+    if let Some(path) = report_path {
+        std::fs::write(&path, report.render_json())
+            .unwrap_or_else(|e| panic!("cannot write report {path}: {e}"));
+        eprintln!("machine-readable report written to {path}");
+    }
 
     print!("{}", report.render());
     if !report.passed() {

@@ -7,17 +7,21 @@
 //! Usage:
 //!
 //! ```text
-//! expt-perf-smoke [--scenarios N] [--seed S] [--threads T]
+//! expt-perf-smoke [--scenarios N] [--seed S] [--threads T] [--samples K]
 //!                 [--out PATH] [--baseline PATH]
 //! ```
 //!
 //! Defaults: 50 scenarios, seed 7, one thread (thread count changes wall
-//! time, so comparable data points pin it), output `BENCH_sim.json`.  With
-//! `--baseline PATH` the run exits non-zero if throughput regressed more
-//! than 20% below the committed baseline's `scenarios_per_sec` — the CI
-//! `perf-smoke` job gates on this.  Baselines are tied to a hardware class;
-//! regenerate `perf/BENCH_sim.baseline.json` when the runner class changes,
-//! not to paper over a slowdown.
+//! time, so comparable data points pin it), 3 samples, output
+//! `BENCH_sim.json`.  The campaign runs `K` times and the **median**
+//! throughput is reported and gated — shared CI runners jitter enough that a
+//! single sample flakes; all raw samples are printed so a noisy run is
+//! diagnosable from the job log.  With `--baseline PATH` the run exits
+//! non-zero if the median regressed more than 20% below the committed
+//! baseline's `scenarios_per_sec` — the CI `perf-smoke` job gates on this.
+//! Baselines are tied to a hardware class; regenerate
+//! `perf/BENCH_sim.baseline.json` when the runner class changes, not to
+//! paper over a slowdown.
 
 use std::time::Instant;
 
@@ -57,6 +61,7 @@ fn main() {
     let mut scenarios: usize = 50;
     let mut seed: u64 = 7;
     let mut threads: usize = 1;
+    let mut samples: usize = 3;
     let mut out = String::from("BENCH_sim.json");
     let mut baseline: Option<String> = None;
     let mut args = std::env::args().skip(1);
@@ -77,12 +82,18 @@ fn main() {
                     .parse()
                     .expect("--threads takes a number");
             }
+            "--samples" => {
+                samples = value("--samples")
+                    .parse()
+                    .expect("--samples takes a number");
+                assert!(samples > 0, "--samples must be at least 1");
+            }
             "--out" => out = value("--out"),
             "--baseline" => baseline = Some(value("--baseline")),
             unknown => {
                 eprintln!(
                     "unknown argument {unknown}; usage: expt-perf-smoke [--scenarios N] \
-                     [--seed S] [--threads T] [--out PATH] [--baseline PATH]"
+                     [--seed S] [--threads T] [--samples K] [--out PATH] [--baseline PATH]"
                 );
                 std::process::exit(2);
             }
@@ -90,34 +101,57 @@ fn main() {
     }
 
     let campaign = Campaign::new(seed, scenarios);
-    let start = Instant::now();
-    let report = match campaign.run(threads) {
-        Ok(report) => report,
-        Err(error) => {
-            eprintln!("perf-smoke campaign aborted: {error}");
+    // Median of `samples` runs: a single sample on a shared runner flakes.
+    let mut rates: Vec<f64> = Vec::with_capacity(samples);
+    for sample in 0..samples {
+        let start = Instant::now();
+        let report = match campaign.run(threads) {
+            Ok(report) => report,
+            Err(error) => {
+                eprintln!("perf-smoke campaign aborted: {error}");
+                std::process::exit(1);
+            }
+        };
+        let elapsed = start.elapsed().as_secs_f64();
+        if !report.passed() {
+            eprintln!(
+                "perf-smoke campaign recorded violations:\n{}",
+                report.render()
+            );
             std::process::exit(1);
         }
-    };
-    let elapsed = start.elapsed().as_secs_f64();
-    if !report.passed() {
-        eprintln!(
-            "perf-smoke campaign recorded violations:\n{}",
-            report.render()
+        let rate = scenarios as f64 / elapsed.max(1e-9);
+        println!(
+            "perf-smoke: sample {}/{samples}: {rate:.2} scenarios/sec ({elapsed:.3}s)",
+            sample + 1
         );
-        std::process::exit(1);
+        rates.push(rate);
     }
+    let mut sorted = rates.clone();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("rates are finite"));
+    let scenarios_per_sec = sorted[sorted.len() / 2];
+    // The median sample's wall time, so `scenarios / elapsed_seconds`
+    // remains consistent with `scenarios_per_sec` (as in single-sample
+    // baselines).
+    let elapsed = scenarios as f64 / scenarios_per_sec.max(1e-9);
 
-    let scenarios_per_sec = scenarios as f64 / elapsed.max(1e-9);
     let rss = peak_rss_kb();
+    let raw = rates
+        .iter()
+        .map(|r| format!("{r:.2}"))
+        .collect::<Vec<_>>()
+        .join(", ");
     let json = format!(
         "{{\n  \"scenarios\": {scenarios},\n  \"seed\": {seed},\n  \"threads\": {threads},\n  \
+         \"samples\": {samples},\n  \"raw_scenarios_per_sec\": [{raw}],\n  \
          \"elapsed_seconds\": {elapsed:.3},\n  \"scenarios_per_sec\": {scenarios_per_sec:.2},\n  \
          \"peak_rss_kb\": {rss}\n}}\n"
     );
     std::fs::write(&out, &json).unwrap_or_else(|e| panic!("cannot write {out}: {e}"));
     println!(
-        "perf-smoke: {scenarios} scenarios, seed {seed}, {threads} thread(s): \
-         {scenarios_per_sec:.2} scenarios/sec, peak RSS {rss} kB -> {out}"
+        "perf-smoke: {scenarios} scenarios, seed {seed}, {threads} thread(s), \
+         median of {samples}: {scenarios_per_sec:.2} scenarios/sec, \
+         peak RSS {rss} kB -> {out}"
     );
 
     if let Some(path) = baseline {
@@ -132,8 +166,8 @@ fn main() {
         );
         if scenarios_per_sec < floor {
             eprintln!(
-                "perf-smoke: throughput regressed >20%: {scenarios_per_sec:.2} < \
-                 {floor:.2} scenarios/sec (baseline {reference_rate:.2})"
+                "perf-smoke: median throughput regressed >20%: {scenarios_per_sec:.2} < \
+                 {floor:.2} scenarios/sec (baseline {reference_rate:.2}; raw samples [{raw}])"
             );
             std::process::exit(1);
         }

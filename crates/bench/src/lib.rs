@@ -13,6 +13,7 @@
 //! | E6 | Average performance (< 1% degradation) | [`avg_perf`] | `expt-avg-perf` |
 //! | E7 | Section III slot model (3·L+S vs 3·m+m) | [`slot`] | `expt-slot-model` |
 //! | A1 | Ablation: WaP alone, WaW alone, both | [`ablation`] | `expt-ablation` |
+//! | B1 | Buffer-depth sweep (bound vs depth, not in paper) | [`buffer_sweep`] | `expt-buffer-sweep` |
 //! | C1 | Conformance campaign (sim vs analytic bounds) | `wnoc-conformance` | `expt-conformance` |
 //!
 //! Criterion benchmarks under `benches/` measure the cost of regenerating each
@@ -31,6 +32,7 @@
 
 pub mod ablation;
 pub mod avg_perf;
+pub mod buffer_sweep;
 pub mod fig2;
 pub mod slot;
 pub mod table1;
@@ -39,6 +41,7 @@ pub mod table3;
 
 pub use ablation::Ablation;
 pub use avg_perf::{AveragePerformance, AvgPerfParams};
+pub use buffer_sweep::BufferSweepTable;
 pub use fig2::{Fig2Params, Figure2};
 pub use slot::SlotModel;
 pub use table1::Table1;

@@ -85,7 +85,8 @@ fn check_golden(name: &str, binary: &str, args: &[&str]) {
         }
         panic!(
             "{name} output drifted from tests/golden/{name}.txt \
-             (set UPDATE_GOLDEN=1 to accept):\n{diff}"
+             (run ./scripts/regen-golden.sh to accept an intentional change, \
+             which regenerates every golden including the kernel digests):\n{diff}"
         );
     }
 }
@@ -145,5 +146,37 @@ fn golden_expt_conformance() {
         "expt-conformance",
         env!("CARGO_BIN_EXE_expt-conformance"),
         &["--scenarios", "25", "--seed", "7", "--threads", "2"],
+    );
+}
+
+/// The same campaign over the buffer-depth dimension: pins both the depth
+/// sampler and the buffer-aware verdicts.  Slow in debug, covered in release
+/// by CI.
+#[test]
+#[cfg_attr(debug_assertions, ignore = "slow in debug; run in release")]
+fn golden_expt_conformance_buffer_depths() {
+    check_golden(
+        "expt-conformance-buffer-depths",
+        env!("CARGO_BIN_EXE_expt-conformance"),
+        &[
+            "--scenarios",
+            "25",
+            "--seed",
+            "7",
+            "--threads",
+            "2",
+            "--buffer-depths",
+        ],
+    );
+}
+
+/// Depth-1 8×8 closed loops are slow in debug; covered in release by CI.
+#[test]
+#[cfg_attr(debug_assertions, ignore = "slow in debug; run in release")]
+fn golden_expt_buffer_sweep() {
+    check_golden(
+        "expt-buffer-sweep",
+        env!("CARGO_BIN_EXE_expt-buffer-sweep"),
+        &[],
     );
 }

@@ -22,25 +22,56 @@ use wnoc_sim::LatencyStats;
 
 use crate::scenario::{Scenario, ScenarioOutcome, TightnessSummary};
 
+/// The sampling space of a campaign.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CampaignDimension {
+    /// The legacy space: mesh side, flow family, design, message size — all
+    /// platforms at the default buffering.
+    Core,
+    /// The legacy space *times* the buffer-depth dimension: uniform depths
+    /// {1, 2, 4, 8, ∞-equivalent} plus seeded heterogeneous per-port
+    /// assignments ([`Scenario::sample_buffered`]).
+    BufferDepth,
+}
+
 /// A seeded conformance campaign.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Campaign {
-    /// Master seed; scenario `i` is `Scenario::sample(i, seed)`.
+    /// Master seed; scenario `i` is `Scenario::sample(i, seed)` (or
+    /// `Scenario::sample_buffered` under [`CampaignDimension::BufferDepth`]).
     pub seed: u64,
     /// Number of scenarios.
     pub scenarios: usize,
+    /// The sampled scenario space.
+    pub dimension: CampaignDimension,
 }
 
 impl Campaign {
-    /// Creates a campaign description.
+    /// Creates a campaign over the legacy scenario space.
     pub fn new(seed: u64, scenarios: usize) -> Self {
-        Self { seed, scenarios }
+        Self {
+            seed,
+            scenarios,
+            dimension: CampaignDimension::Core,
+        }
+    }
+
+    /// Creates a campaign sweeping the buffer-depth dimension as well.
+    pub fn buffer_sweep(seed: u64, scenarios: usize) -> Self {
+        Self {
+            seed,
+            scenarios,
+            dimension: CampaignDimension::BufferDepth,
+        }
     }
 
     /// Materialises every scenario of the campaign.
     pub fn generate(&self) -> Vec<Scenario> {
         (0..self.scenarios)
-            .map(|index| Scenario::sample(index, self.seed))
+            .map(|index| match self.dimension {
+                CampaignDimension::Core => Scenario::sample(index, self.seed),
+                CampaignDimension::BufferDepth => Scenario::sample_buffered(index, self.seed),
+            })
             .collect()
     }
 
@@ -241,6 +272,85 @@ impl ConformanceReport {
                 max,
             }
         }
+    }
+
+    /// Renders the report as deterministic JSON — the machine-readable
+    /// artifact the nightly `deep-conformance` CI job uploads.  Hand-built
+    /// (the vendored serde shim has no serializer); per-scenario entries
+    /// carry enough to diagnose a regression from the run page alone.
+    pub fn render_json(&self) -> String {
+        fn escape(s: &str) -> String {
+            s.replace('\\', "\\\\").replace('"', "\\\"")
+        }
+        let mut out = String::new();
+        let observed = self.observed();
+        let tightness = self.tightness();
+        out.push_str("{\n");
+        out.push_str(&format!("  \"seed\": {},\n", self.seed));
+        out.push_str(&format!(
+            "  \"scenario_count\": {},\n",
+            self.scenario_count()
+        ));
+        out.push_str(&format!("  \"passed\": {},\n", self.passed()));
+        out.push_str(&format!(
+            "  \"dominance_violations\": {},\n",
+            self.dominance_violations()
+        ));
+        out.push_str(&format!(
+            "  \"ordering_violations\": {},\n",
+            self.ordering_violations()
+        ));
+        out.push_str(&format!(
+            "  \"observed\": {{\"count\": {}, \"min\": {}, \"max\": {}}},\n",
+            observed.count,
+            if observed.is_empty() { 0 } else { observed.min },
+            observed.max
+        ));
+        out.push_str(&format!(
+            "  \"tightness\": {{\"flows\": {}, \"mean\": {:.6}, \"max\": {:.6}}},\n",
+            tightness.flows, tightness.mean, tightness.max
+        ));
+        out.push_str("  \"per_design\": [\n");
+        let per_design = self.per_design();
+        for (position, (label, summary)) in per_design.iter().enumerate() {
+            let comma = if position + 1 < per_design.len() {
+                ","
+            } else {
+                ""
+            };
+            out.push_str(&format!(
+                "    {{\"design\": \"{}\", \"scenarios\": {}, \"flows\": {}, \
+                 \"mean_tightness\": {:.6}, \"max_tightness\": {:.6}}}{comma}\n",
+                escape(label),
+                summary.scenarios,
+                summary.flows,
+                summary.mean_tightness,
+                summary.max_tightness
+            ));
+        }
+        out.push_str("  ],\n");
+        out.push_str("  \"scenarios\": [\n");
+        for (position, outcome) in self.outcomes.iter().enumerate() {
+            let comma = if position + 1 < self.outcomes.len() {
+                ","
+            } else {
+                ""
+            };
+            out.push_str(&format!(
+                "    {{\"label\": \"{}\", \"flows\": {}, \"dominance_checked\": {}, \
+                 \"violations\": {}, \"ordering_violations\": {}, \"observed_max\": {}, \
+                 \"tightness_max\": {:.6}}}{comma}\n",
+                escape(&outcome.scenario.label()),
+                outcome.flow_count,
+                outcome.dominance_checked,
+                outcome.violations.len(),
+                outcome.ordering_violations.len(),
+                outcome.observed.max,
+                outcome.tightness.max
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
     }
 
     /// Renders the deterministic human-readable summary printed by

@@ -39,7 +39,8 @@
 pub mod campaign;
 pub mod scenario;
 
-pub use campaign::{Campaign, ConformanceReport, DesignSummary};
+pub use campaign::{Campaign, CampaignDimension, ConformanceReport, DesignSummary};
 pub use scenario::{
-    DesignChoice, Scenario, ScenarioFamily, ScenarioOutcome, TightnessSummary, Violation,
+    BufferChoice, DesignChoice, Scenario, ScenarioFamily, ScenarioOutcome, TightnessSummary,
+    Violation,
 };

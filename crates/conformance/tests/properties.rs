@@ -8,8 +8,21 @@
 
 use proptest::prelude::*;
 
-use wnoc_conformance::{DesignChoice, Scenario, ScenarioFamily};
-use wnoc_core::{Coord, Mesh, NodeId};
+use wnoc_conformance::{BufferChoice, DesignChoice, Scenario, ScenarioFamily};
+use wnoc_core::{BufferConfig, Coord, Mesh, NodeId};
+
+fn buffer_strategy() -> impl Strategy<Value = BufferChoice> {
+    prop_oneof![
+        Just(BufferChoice::Default),
+        Just(BufferChoice::Uniform { depth: 1 }),
+        Just(BufferChoice::Uniform { depth: 2 }),
+        Just(BufferChoice::Uniform { depth: 8 }),
+        Just(BufferChoice::Uniform {
+            depth: BufferConfig::INFINITE_EQUIVALENT
+        }),
+        (0u64..1_000).prop_map(|seed| BufferChoice::Heterogeneous { seed }),
+    ]
+}
 
 fn design_strategy() -> impl Strategy<Value = DesignChoice> {
     prop_oneof![
@@ -69,6 +82,7 @@ proptest! {
         family_roll in 0u32..3,
         position_roll in any::<u64>(),
         message_flits in 1u32..=6,
+        buffers in buffer_strategy(),
     ) {
         let message_flits = match design {
             // Single slices under WaW + WaP (the per-packet quantity the
@@ -84,6 +98,7 @@ proptest! {
             design,
             message_flits,
             cycles: 1_500,
+            buffers,
         };
         let outcome = scenario.run().unwrap();
         prop_assert!(

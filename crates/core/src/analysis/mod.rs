@@ -26,6 +26,7 @@
 //! trait object so the conformance harness (`wnoc-conformance`) can
 //! cross-validate the cycle-accurate simulator against every bound uniformly.
 
+pub mod buffer_aware;
 pub mod oracle;
 pub mod regular;
 pub mod slot;
@@ -33,9 +34,10 @@ pub mod table;
 pub mod ubd;
 pub mod weighted;
 
+pub use buffer_aware::BufferAwareWcttModel;
 pub use oracle::{
-    oracle_suite, primary_oracle, RegularOracle, SlotOracle, UbdOracle, WcttBoundModel,
-    WeightedFlavor, WeightedOracle,
+    oracle_suite, oracle_suite_with_buffers, primary_oracle, AnalyticOnly, BufferAwareOracle,
+    RegularOracle, SlotOracle, UbdOracle, WcttBoundModel, WeightedFlavor, WeightedOracle,
 };
 pub use regular::RegularWcttModel;
 pub use table::{WcttSummary, WcttTable, WcttTableRow};

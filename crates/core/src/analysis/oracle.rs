@@ -35,16 +35,19 @@
 //! against simulator observations (single-slice messages, where
 //! `message_bound == packet_bound`, remain observable).
 
+use crate::analysis::buffer_aware::BufferAwareWcttModel;
 use crate::analysis::regular::RegularWcttModel;
 use crate::analysis::slot;
 use crate::analysis::ubd::UbdModel;
 use crate::analysis::weighted::WeightedWcttModel;
 use crate::arbitration::ArbitrationPolicy;
+use crate::buffers::BufferConfig;
 use crate::config::NocConfig;
 use crate::error::Result;
 use crate::flow::{FlowId, FlowSet};
 use crate::packetization::PacketizationPolicy;
 use crate::routing::Route;
+use crate::topology::Mesh;
 use crate::weights::WeightTable;
 
 /// A WCTT analysis viewed as a per-flow bound oracle.
@@ -202,6 +205,98 @@ impl WcttBoundModel for WeightedOracle {
             WeightedFlavor::Paper => self.model.message_wctt(route, slices),
             WeightedFlavor::Backpressured => self.model.backpressured_message_wctt(route, slices),
         })
+    }
+}
+
+/// Delegating wrapper that demotes any oracle to an analytic reference:
+/// bounds are unchanged but [`WcttBoundModel::dominates_observation`] is
+/// forced to `false`.
+///
+/// Used by [`oracle_suite_with_buffers`]: analyses that do not model buffer
+/// depth (`regular`, `ubd`, `weighted-bp`) were validated against the
+/// simulator's default buffering, so on platforms with *shallower* buffers
+/// they participate in cross-analysis ordering checks only — credit
+/// round-trip serialisation at depth 1 can push observations past bounds
+/// that are perfectly safe at the calibration depth.
+#[derive(Debug)]
+pub struct AnalyticOnly<T: WcttBoundModel>(pub T);
+
+impl<T: WcttBoundModel> WcttBoundModel for AnalyticOnly<T> {
+    fn name(&self) -> &'static str {
+        self.0.name()
+    }
+
+    fn dominates_observation(&self) -> bool {
+        false
+    }
+
+    fn packet_bound(&mut self, id: FlowId, own_flits: u32) -> Option<u64> {
+        self.0.packet_bound(id, own_flits)
+    }
+
+    fn message_bound(&mut self, id: FlowId, message_flits: u32) -> Option<u64> {
+        self.0.message_bound(id, message_flits)
+    }
+}
+
+/// [`WcttBoundModel`] over the buffer-aware weighted analysis
+/// ([`BufferAwareWcttModel`]): per-hop backpressure terms sized by the
+/// configured [`BufferConfig`].  The only oracle whose dominance claim is
+/// depth-aware, and the dominance oracle of buffer-depth conformance sweeps.
+#[derive(Debug, Clone)]
+pub struct BufferAwareOracle {
+    model: BufferAwareWcttModel,
+    flows: FlowSet,
+    config: NocConfig,
+}
+
+impl BufferAwareOracle {
+    /// Builds the oracle for `flows` under the WaW + WaP configuration
+    /// `config` with the given buffer configuration over `mesh`.
+    pub fn new(flows: &FlowSet, config: &NocConfig, mesh: Mesh, buffers: BufferConfig) -> Self {
+        let slice = config.packetization.worst_case_contender_flits();
+        Self {
+            model: BufferAwareWcttModel::new(
+                WeightTable::from_flow_set(flows),
+                config.timing,
+                slice,
+                mesh,
+                buffers,
+            ),
+            flows: flows.clone(),
+            config: *config,
+        }
+    }
+
+    /// The underlying analytic model.
+    pub fn model(&self) -> &BufferAwareWcttModel {
+        &self.model
+    }
+
+    fn slices(&self, message_flits: u32) -> u32 {
+        self.config
+            .packetization
+            .split_message(message_flits, self.config.geometry)
+            .len() as u32
+    }
+}
+
+impl WcttBoundModel for BufferAwareOracle {
+    fn name(&self) -> &'static str {
+        "buffer-aware"
+    }
+
+    fn packet_bound(&mut self, id: FlowId, _own_flits: u32) -> Option<u64> {
+        // As for the weighted oracles: every WaP wire packet is a
+        // minimum-size slice, so the per-packet bound is size-independent.
+        let route = self.flows.route(id)?;
+        Some(self.model.packet_wctt(route))
+    }
+
+    fn message_bound(&mut self, id: FlowId, message_flits: u32) -> Option<u64> {
+        let slices = self.slices(message_flits);
+        let route = self.flows.route(id)?;
+        Some(self.model.message_wctt(route, slices))
     }
 }
 
@@ -393,6 +488,90 @@ pub fn oracle_suite(flows: &FlowSet, config: &NocConfig) -> Result<Vec<Box<dyn W
     Ok(suite)
 }
 
+/// Every analysis applicable to `config` on a platform whose router buffers
+/// follow `buffers`, primary (dominance/tightness reference) first.
+///
+/// Buffer depth changes which analyses may claim observation safety:
+///
+/// * with the **default** buffers (uniform at
+///   [`NocConfig::input_buffer_flits`]) the suite matches [`oracle_suite`]
+///   exactly — plus, under WaW, the buffer-aware oracle appended as an extra
+///   dominating member (its bounds coincide with `weighted-bp` at the
+///   calibration depth, so verdicts are unchanged);
+/// * with **non-default** buffers under WaW the buffer-aware oracle becomes
+///   the primary, since it is the only depth-aware analysis;
+/// * the round-robin analyses (`regular`, `ubd`) are demoted to analytic
+///   references ([`AnalyticOnly`]) for **any** non-default buffering: their
+///   safety is tied to the 4-flit validation point in *both* directions —
+///   shallower rings add credit round-trip stalls, and deeper rings let
+///   input FIFOs accumulate multi-packet cross-traffic trains the
+///   chained-blocking recursion does not count (buffer-depth campaigns
+///   observe up to 3.2× the bound at depth 64);
+/// * `weighted-bp` keeps its dominance claim for calibration-or-deeper
+///   buffers (under WaP every wire packet is a single slice and the weighted
+///   round argument counts every flow sharing a port, so FIFO depth adds no
+///   unmodelled contention; deeper buffers only reduce the dilation it
+///   models) and is demoted below the calibration depth.
+///
+/// # Errors
+///
+/// Returns an error if the configuration is invalid or `buffers` does not
+/// cover `mesh`.
+pub fn oracle_suite_with_buffers(
+    flows: &FlowSet,
+    config: &NocConfig,
+    mesh: Mesh,
+    buffers: &BufferConfig,
+) -> Result<Vec<Box<dyn WcttBoundModel>>> {
+    config.validate()?;
+    buffers.validate(&mesh)?;
+    let default_buffers = buffers.is_uniform_depth(config.input_buffer_flits);
+    let depth_validated = buffers.min_depth() >= config.input_buffer_flits;
+    fn gate<T: WcttBoundModel + 'static>(oracle: T, keep: bool) -> Box<dyn WcttBoundModel> {
+        if keep {
+            Box::new(oracle)
+        } else {
+            Box::new(AnalyticOnly(oracle))
+        }
+    }
+    match config.arbitration {
+        ArbitrationPolicy::RoundRobin => {
+            let regular = RegularOracle::new(
+                flows,
+                config,
+                config.packetization.worst_case_contender_flits(),
+            );
+            Ok(vec![
+                gate(regular, default_buffers),
+                gate(UbdOracle::new(flows, config)?, default_buffers),
+                Box::new(SlotOracle::new(flows, config)),
+            ])
+        }
+        ArbitrationPolicy::Waw => {
+            let buffer_aware = BufferAwareOracle::new(flows, config, mesh, buffers.clone());
+            let backpressured =
+                WeightedOracle::with_flavor(flows, config, WeightedFlavor::Backpressured);
+            let paper = WeightedOracle::with_flavor(flows, config, WeightedFlavor::Paper);
+            let mut suite: Vec<Box<dyn WcttBoundModel>> = if default_buffers {
+                vec![
+                    Box::new(backpressured),
+                    Box::new(paper),
+                    Box::new(buffer_aware),
+                ]
+            } else {
+                vec![
+                    Box::new(buffer_aware),
+                    gate(backpressured, depth_validated),
+                    Box::new(paper),
+                ]
+            };
+            suite.push(Box::new(UbdOracle::new(flows, config)?));
+            suite.push(Box::new(SlotOracle::new(flows, config)));
+            Ok(suite)
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -530,6 +709,116 @@ mod tests {
         // A 4-flit cache line becomes 5 single-flit slices (Section III).
         assert_eq!(oracle.slices(4), 5);
         assert_eq!(oracle.slices(1), 1);
+    }
+
+    #[test]
+    fn buffered_suite_with_default_buffers_keeps_the_classic_shape() {
+        let mesh = Mesh::square(4).unwrap();
+        let flows = FlowSet::all_to_one(&mesh, Coord::from_row_col(0, 0)).unwrap();
+
+        let config = NocConfig::regular(4);
+        let suite =
+            oracle_suite_with_buffers(&flows, &config, mesh, &BufferConfig::uniform(4)).unwrap();
+        let names: Vec<&str> = suite.iter().map(|o| o.name()).collect();
+        assert_eq!(names, ["regular", "ubd", "slot"]);
+        let flags: Vec<bool> = suite.iter().map(|o| o.dominates_observation()).collect();
+        assert_eq!(flags, [true, true, false]);
+
+        let config = NocConfig::waw_wap();
+        let suite =
+            oracle_suite_with_buffers(&flows, &config, mesh, &BufferConfig::uniform(4)).unwrap();
+        let names: Vec<&str> = suite.iter().map(|o| o.name()).collect();
+        assert_eq!(
+            names,
+            ["weighted-bp", "weighted", "buffer-aware", "ubd", "slot"]
+        );
+        let flags: Vec<bool> = suite.iter().map(|o| o.dominates_observation()).collect();
+        assert_eq!(flags, [true, false, true, false, false]);
+    }
+
+    #[test]
+    fn shallow_buffers_demote_depth_unaware_oracles() {
+        let mesh = Mesh::square(4).unwrap();
+        let flows = FlowSet::all_to_one(&mesh, Coord::from_row_col(0, 0)).unwrap();
+
+        let config = NocConfig::waw_wap();
+        let suite =
+            oracle_suite_with_buffers(&flows, &config, mesh, &BufferConfig::uniform(1)).unwrap();
+        let names: Vec<&str> = suite.iter().map(|o| o.name()).collect();
+        assert_eq!(
+            names,
+            ["buffer-aware", "weighted-bp", "weighted", "ubd", "slot"]
+        );
+        let flags: Vec<bool> = suite.iter().map(|o| o.dominates_observation()).collect();
+        assert_eq!(flags, [true, false, false, false, false]);
+
+        let config = NocConfig::regular(4);
+        let suite =
+            oracle_suite_with_buffers(&flows, &config, mesh, &BufferConfig::uniform(1)).unwrap();
+        let flags: Vec<bool> = suite.iter().map(|o| o.dominates_observation()).collect();
+        assert_eq!(flags, [false, false, false]);
+
+        // Round-robin chained blocking is tied to its validation depth in
+        // *both* directions: deep FIFOs accumulate cross-traffic trains the
+        // recursion does not count, so deeper-than-default also demotes.
+        let suite =
+            oracle_suite_with_buffers(&flows, &config, mesh, &BufferConfig::uniform(64)).unwrap();
+        let flags: Vec<bool> = suite.iter().map(|o| o.dominates_observation()).collect();
+        assert_eq!(flags, [false, false, false]);
+    }
+
+    #[test]
+    fn deep_buffers_keep_depth_unaware_dominance_and_promote_buffer_aware() {
+        let mesh = Mesh::square(4).unwrap();
+        let flows = FlowSet::all_to_one(&mesh, Coord::from_row_col(0, 0)).unwrap();
+        let config = NocConfig::waw_wap();
+        let deep = BufferConfig::uniform(BufferConfig::INFINITE_EQUIVALENT);
+        let mut suite = oracle_suite_with_buffers(&flows, &config, mesh, &deep).unwrap();
+        assert_eq!(suite[0].name(), "buffer-aware");
+        assert!(suite[0].dominates_observation());
+        assert_eq!(suite[1].name(), "weighted-bp");
+        assert!(suite[1].dominates_observation());
+        // At depth 64 the buffer-aware bound sits at or below weighted-bp.
+        for (id, _) in flows.iter() {
+            let ba = suite[0].message_bound(id, 1).unwrap();
+            let bp = suite[1].message_bound(id, 1).unwrap();
+            assert!(ba <= bp, "{id}: buffer-aware {ba} above weighted-bp {bp}");
+        }
+    }
+
+    #[test]
+    fn analytic_only_wrapper_preserves_bounds_and_name() {
+        let mesh = Mesh::square(3).unwrap();
+        let flows = FlowSet::all_to_one(&mesh, Coord::from_row_col(0, 0)).unwrap();
+        let config = NocConfig::regular(4);
+        let mut plain = RegularOracle::new(&flows, &config, 4);
+        let mut wrapped = AnalyticOnly(RegularOracle::new(&flows, &config, 4));
+        assert_eq!(wrapped.name(), "regular");
+        assert!(!wrapped.dominates_observation());
+        for (id, _) in flows.iter() {
+            assert_eq!(wrapped.packet_bound(id, 4), plain.packet_bound(id, 4));
+            assert_eq!(wrapped.message_bound(id, 9), plain.message_bound(id, 9));
+        }
+    }
+
+    #[test]
+    fn buffer_aware_oracle_coincides_with_backpressured_at_calibration_depth() {
+        let mesh = Mesh::square(5).unwrap();
+        let flows = FlowSet::all_to_one(&mesh, Coord::from_row_col(0, 0)).unwrap();
+        let config = NocConfig::waw_wap();
+        let mut ba = BufferAwareOracle::new(
+            &flows,
+            &config,
+            mesh,
+            BufferConfig::uniform(crate::analysis::BufferAwareWcttModel::CALIBRATION_DEPTH),
+        );
+        let mut bp = WeightedOracle::with_flavor(&flows, &config, WeightedFlavor::Backpressured);
+        for (id, _) in flows.iter() {
+            for mf in [1u32, 4] {
+                assert_eq!(ba.message_bound(id, mf), bp.message_bound(id, mf));
+                assert_eq!(ba.packet_bound(id, 1), bp.packet_bound(id, 1));
+            }
+        }
     }
 
     #[test]

@@ -55,6 +55,7 @@
 
 pub mod analysis;
 pub mod arbitration;
+pub mod buffers;
 pub mod config;
 pub mod error;
 pub mod flow;
@@ -68,6 +69,7 @@ pub mod topology;
 pub mod weights;
 
 pub use arbitration::ArbitrationPolicy;
+pub use buffers::BufferConfig;
 pub use config::{NocConfig, RouterTiming};
 pub use error::{Error, Result};
 pub use flow::{Flow, FlowId, FlowSet};

@@ -31,7 +31,7 @@ use wnoc_core::flow::FlowSet;
 use wnoc_core::packetization::Packetizer;
 use wnoc_core::weights::WeightTable;
 use wnoc_core::{
-    Cycle, Direction, Error, FlowId, Mesh, MessageId, NocConfig, NodeId, Port, Result,
+    BufferConfig, Cycle, Direction, Error, FlowId, Mesh, MessageId, NocConfig, NodeId, Port, Result,
 };
 
 use crate::arena::{FlitArena, FlitId};
@@ -150,6 +150,7 @@ impl ActiveSet {
 pub struct Network {
     mesh: Mesh,
     config: NocConfig,
+    buffers: BufferConfig,
     routers: Vec<Router>,
     nics: Vec<Nic>,
     /// All unidirectional links, indexed densely.
@@ -196,7 +197,34 @@ impl Network {
     ///
     /// Returns [`Error::InvalidConfig`] if the configuration is invalid.
     pub fn new(mesh: Mesh, config: NocConfig, flows: &FlowSet) -> Result<Self> {
+        let buffers = BufferConfig::uniform(config.input_buffer_flits);
+        Self::with_buffers(mesh, config, flows, &buffers)
+    }
+
+    /// Builds a network whose router input buffers follow `buffers` instead
+    /// of the uniform [`NocConfig::input_buffer_flits`] depth.
+    ///
+    /// Buffer depths size the input rings; every credit counter is *derived*
+    /// from the downstream neighbour's configured depth through
+    /// [`BufferConfig::credits_towards`] — the single source of truth — and
+    /// the construction asserts, link by link, that each output's credits
+    /// equal the capacity of the input buffer it feeds.  The active-set
+    /// kernel's invariants (arena slab, dirty-bit worklists, zero steady-state
+    /// allocations) are depth-independent; a uniform config at the default
+    /// depth is bit-for-bit identical to [`Network::new`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidConfig`] if the configuration is invalid or
+    /// `buffers` does not cover `mesh`.
+    pub fn with_buffers(
+        mesh: Mesh,
+        config: NocConfig,
+        flows: &FlowSet,
+        buffers: &BufferConfig,
+    ) -> Result<Self> {
         config.validate()?;
+        buffers.validate(&mesh)?;
         let weights = WeightTable::from_flow_set(flows);
         let count = mesh.router_count();
         let mut routers = Vec::with_capacity(count);
@@ -206,15 +234,31 @@ impl Network {
         let mut link_out = vec![[NONE; Port::COUNT]; count];
         let mut neighbor = vec![[NONE; Port::COUNT]; count];
         for (index, coord) in mesh.routers().enumerate() {
+            let node = mesh.node_id(coord)?;
+            let mut input_depths = [1u32; Port::COUNT];
+            let mut output_credits = [0u32; Port::COUNT];
+            for port in Port::ALL {
+                input_depths[port.index()] = buffers.depth(node, port);
+                // Credits are the downstream input buffer's depth: the
+                // neighbour's facing port for mesh outputs, this router's own
+                // local buffer for the (never credit-limited) ejection port.
+                output_credits[port.index()] = match port {
+                    Port::Mesh(dir) => match mesh.neighbor(coord, dir) {
+                        Some(downstream) => buffers
+                            .credits_towards(mesh.node_id(downstream)?, Port::Mesh(dir.opposite())),
+                        None => 0,
+                    },
+                    Port::Local => buffers.depth(node, Port::Local),
+                };
+            }
             routers.push(Router::new(
                 coord,
                 &mesh,
                 config.arbitration,
                 &weights,
-                config.input_buffer_flits,
-                config.input_buffer_flits,
+                &input_depths,
+                &output_credits,
             ));
-            let node = mesh.node_id(coord)?;
             nics.push(Nic::new(
                 node,
                 Packetizer::new(config.packetization, config.geometry)?,
@@ -231,6 +275,24 @@ impl Network {
                 link_dst.push((downstream_index as u32, Port::Mesh(dir.opposite())));
             }
         }
+        // Constructor invariant: credit counters agree with the rings they
+        // guard.  With heterogeneous depths a divergence here would mean
+        // silent flow-control corruption (overflowing `Router::accept`), so
+        // the check is unconditional, not debug-only.
+        for (index, coord) in mesh.routers().enumerate() {
+            for dir in Direction::ALL {
+                let Some(downstream) = mesh.neighbor(coord, dir) else {
+                    continue;
+                };
+                let downstream_index = mesh.node_id(downstream)?.index();
+                let credits = routers[index].credits(Port::Mesh(dir));
+                let capacity = routers[downstream_index].input_capacity(Port::Mesh(dir.opposite()));
+                assert_eq!(
+                    credits as usize, capacity,
+                    "credits of {coord} towards {dir} diverge from the downstream ring"
+                );
+            }
+        }
         let mut flow_ids: HashMap<_, _, FxBuildHasher> = HashMap::default();
         for (id, flow) in flows.iter() {
             flow_ids.insert((flow.src, flow.dst), id);
@@ -240,6 +302,7 @@ impl Network {
         Ok(Self {
             mesh,
             config,
+            buffers: buffers.clone(),
             routers,
             nics,
             links,
@@ -287,6 +350,11 @@ impl Network {
     /// The design configuration.
     pub fn config(&self) -> &NocConfig {
         &self.config
+    }
+
+    /// The router input-buffer configuration the network was built with.
+    pub fn buffers(&self) -> &BufferConfig {
+        &self.buffers
     }
 
     /// Current simulation cycle.
@@ -791,6 +859,94 @@ mod tests {
         }
         assert_eq!(noc.take_delivered(), Vec::new());
         assert!(sink.iter().all(|d| d.src == src && d.dst == dst));
+    }
+
+    #[test]
+    fn default_buffer_config_matches_two_scalar_construction() {
+        // `Network::new` and an explicit uniform BufferConfig at the default
+        // depth must be indistinguishable, observation for observation.
+        let mesh = Mesh::square(4).unwrap();
+        let flows = FlowSet::all_to_one(&mesh, Coord::from_row_col(0, 0)).unwrap();
+        let config = NocConfig::waw_wap();
+        let run = |mut noc: Network| {
+            for row in 0..4u16 {
+                for col in 0..4u16 {
+                    if row == 0 && col == 0 {
+                        continue;
+                    }
+                    let src = noc.mesh().node_id(Coord::from_row_col(row, col)).unwrap();
+                    let dst = noc.mesh().node_id(Coord::from_row_col(0, 0)).unwrap();
+                    noc.offer(src, dst, 2).unwrap();
+                }
+            }
+            assert!(noc.run_until_drained(100_000));
+            noc.stats().clone()
+        };
+        let classic = run(Network::new(mesh, config, &flows).unwrap());
+        let explicit = run(Network::with_buffers(
+            mesh,
+            config,
+            &flows,
+            &BufferConfig::uniform(config.input_buffer_flits),
+        )
+        .unwrap());
+        assert_eq!(classic.traversal_latency, explicit.traversal_latency);
+        assert_eq!(classic.flits_delivered, explicit.flits_delivered);
+        assert_eq!(classic.cycles, explicit.cycles);
+    }
+
+    #[test]
+    fn heterogeneous_credits_follow_the_downstream_ring() {
+        // Deepen a single input buffer: only the one upstream output facing
+        // it gains credits (the constructor invariant assertion would abort
+        // on any divergence).
+        let mesh = Mesh::square(3).unwrap();
+        let flows = FlowSet::all_to_one(&mesh, Coord::from_row_col(0, 0)).unwrap();
+        let center = mesh.node_id(Coord::from_row_col(1, 1)).unwrap();
+        let buffers = BufferConfig::uniform(2).with_buffer_depth(
+            &mesh,
+            center,
+            Port::Mesh(Direction::East),
+            7,
+        );
+        let noc = Network::with_buffers(mesh, NocConfig::regular(4), &flows, &buffers).unwrap();
+        // R(1,1)'s *east-facing input* receives from its eastern neighbour
+        // R(2,1), whose *west output* must now hold 7 credits.
+        let east_neighbor = mesh.node_id(Coord::from_row_col(1, 2)).unwrap();
+        assert_eq!(
+            noc.routers[east_neighbor.index()].credits(Port::Mesh(Direction::West)),
+            7
+        );
+        assert_eq!(
+            noc.routers[center.index()].input_capacity(Port::Mesh(Direction::East)),
+            7
+        );
+        // Every other port keeps the base depth.
+        assert_eq!(noc.routers[center.index()].input_capacity(Port::Local), 2);
+        assert_eq!(noc.buffers().max_depth(), 7);
+    }
+
+    #[test]
+    fn depth_one_network_still_delivers() {
+        let mesh = Mesh::square(4).unwrap();
+        let flows = FlowSet::all_to_one(&mesh, Coord::from_row_col(0, 0)).unwrap();
+        for config in [NocConfig::regular(4), NocConfig::waw_wap()] {
+            let mut noc =
+                Network::with_buffers(mesh, config, &flows, &BufferConfig::uniform(1)).unwrap();
+            let dst = mesh.node_id(Coord::from_row_col(0, 0)).unwrap();
+            for row in 0..4u16 {
+                for col in 0..4u16 {
+                    if row == 0 && col == 0 {
+                        continue;
+                    }
+                    let src = mesh.node_id(Coord::from_row_col(row, col)).unwrap();
+                    noc.offer(src, dst, 4).unwrap();
+                }
+            }
+            assert!(noc.run_until_drained(200_000), "{}", config.label());
+            assert_eq!(noc.stats().messages_delivered, 15);
+            assert!(noc.arena().is_empty());
+        }
     }
 
     #[test]

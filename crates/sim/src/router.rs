@@ -82,17 +82,24 @@ impl std::fmt::Debug for Router {
 impl Router {
     /// Builds the router at `coord` of `mesh`.
     ///
-    /// `buffer_flits` is the depth of each input buffer, `downstream_credits`
-    /// the initial credit count of each mesh output port (the depth of the
-    /// neighbour's input buffer).  `weights` supplies the WaW quotas; it is
-    /// ignored under round-robin arbitration.
+    /// `input_depths[port]` is the depth of that input buffer;
+    /// `output_credits[port]` the initial credit count of that output port,
+    /// which **must** equal the depth of the downstream input buffer it feeds
+    /// (the network derives both from one [`wnoc_core::BufferConfig`] and
+    /// asserts the invariant at construction).  Entries for ports that do not
+    /// exist at `coord` (mesh edges) are ignored.  `weights` supplies the WaW
+    /// quotas; it is ignored under round-robin arbitration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an existing port is given a zero buffer depth.
     pub fn new(
         coord: Coord,
         mesh: &Mesh,
         policy: ArbitrationPolicy,
         weights: &WeightTable,
-        buffer_flits: u32,
-        downstream_credits: u32,
+        input_depths: &[u32; Port::COUNT],
+        output_credits: &[u32; Port::COUNT],
     ) -> Self {
         let mut inputs = Vec::with_capacity(Port::COUNT);
         let mut credits = Vec::with_capacity(Port::COUNT);
@@ -103,8 +110,16 @@ impl Router {
                 Port::Local => true,
                 Port::Mesh(d) => mesh.has_port(coord, d),
             };
-            inputs.push(exists.then(|| FlitBuffer::new(buffer_flits as usize)));
-            credits.push(if exists { downstream_credits } else { 0 });
+            assert!(
+                !exists || input_depths[port.index()] > 0,
+                "input buffer {port} of router {coord} must hold at least one flit"
+            );
+            inputs.push(exists.then(|| FlitBuffer::new(input_depths[port.index()] as usize)));
+            credits.push(if exists {
+                output_credits[port.index()]
+            } else {
+                0
+            });
             holds.push(None);
             let quotas = weights.reduced_quotas(coord, port);
             arbiters.push(make_arbiter(policy, &quotas));
@@ -131,9 +146,38 @@ impl Router {
         }
     }
 
+    /// Convenience constructor with every input buffer `depth` flits deep and
+    /// every output assuming an equally deep downstream buffer — the uniform
+    /// design point (and the shape of the historical two-scalar constructor).
+    pub fn with_uniform_buffers(
+        coord: Coord,
+        mesh: &Mesh,
+        policy: ArbitrationPolicy,
+        weights: &WeightTable,
+        depth: u32,
+    ) -> Self {
+        Self::new(
+            coord,
+            mesh,
+            policy,
+            weights,
+            &[depth; Port::COUNT],
+            &[depth; Port::COUNT],
+        )
+    }
+
     /// The router's coordinate.
     pub fn coord(&self) -> Coord {
         self.coord
+    }
+
+    /// Total capacity of the input buffer of `port`, in flits (zero if the
+    /// port does not exist) — the quantity an upstream credit counter must
+    /// match.
+    pub fn input_capacity(&self, port: Port) -> usize {
+        self.inputs[port.index()]
+            .as_ref()
+            .map_or(0, FlitBuffer::capacity)
     }
 
     /// Free slots in the input buffer of `port` (zero if the port does not
@@ -332,7 +376,7 @@ mod tests {
 
     fn router(mesh: &Mesh, coord: Coord, policy: ArbitrationPolicy) -> Router {
         let w = weights(mesh);
-        Router::new(coord, mesh, policy, &w, 4, 4)
+        Router::with_uniform_buffers(coord, mesh, policy, &w, 4)
     }
 
     fn flit(arena: &mut FlitArena, dst: NodeId, kind: FlitKind, packet: u64, seq: u32) -> FlitId {
@@ -454,14 +498,14 @@ mod tests {
         let mut arena = FlitArena::new();
         let mut clock = Clock::new();
         let w = weights(&mesh);
-        // Downstream buffer of only 1 credit.
+        // Downstream buffers of only 1 credit.
         let mut r = Router::new(
             Coord::new(1, 1),
             &mesh,
             ArbitrationPolicy::RoundRobin,
             &w,
-            4,
-            1,
+            &[4; Port::COUNT],
+            &[1; Port::COUNT],
         );
         let west_dst = mesh.node_id(Coord::new(0, 1)).unwrap();
         r.accept(

@@ -113,6 +113,25 @@ impl Simulation {
         })
     }
 
+    /// Builds a simulation whose router buffers follow `buffers` (see
+    /// [`Network::with_buffers`]); every driver below works unchanged on the
+    /// heterogeneous network.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the configuration is invalid or `buffers` does not
+    /// cover `mesh`.
+    pub fn with_buffers(
+        mesh: Mesh,
+        config: NocConfig,
+        flows: &FlowSet,
+        buffers: &wnoc_core::BufferConfig,
+    ) -> Result<Self> {
+        Ok(Self {
+            network: Network::with_buffers(mesh, config, flows, buffers)?,
+        })
+    }
+
     /// The underlying network.
     pub fn network(&self) -> &Network {
         &self.network

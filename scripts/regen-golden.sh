@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# Regenerate every golden snapshot in one command, after an *intentional*
+# output or semantics change:
+#
+#   * the stdout snapshots of all expt-* binaries
+#     (crates/bench/tests/golden/*.txt, UPDATE_GOLDEN=1)
+#   * the kernel-equivalence digests
+#     (crates/sim/tests/golden_kernel.txt, UPDATE_KERNEL_GOLDEN=1)
+#
+# Run from anywhere inside the repository:
+#
+#   ./scripts/regen-golden.sh
+#
+# Then eyeball `git diff` — every changed line must be explainable by the
+# change you just made.  Never regenerate to silence a diff you do not
+# understand: the snapshots are the oracle that pins the reproduced paper
+# numbers and the simulator's cycle-level behaviour.
+
+set -euo pipefail
+cd "$(git -C "$(dirname "$0")" rev-parse --show-toplevel)"
+
+echo "== building release binaries =="
+cargo build --release
+
+echo "== regenerating expt-* stdout snapshots (UPDATE_GOLDEN=1) =="
+UPDATE_GOLDEN=1 cargo test --release -p wnoc-bench --test golden -- --include-ignored
+
+echo "== regenerating kernel-equivalence digests (UPDATE_KERNEL_GOLDEN=1) =="
+UPDATE_KERNEL_GOLDEN=1 cargo test --release -p wnoc-sim --test kernel_equivalence
+
+echo "== verifying the regenerated snapshots pass =="
+cargo test --release -p wnoc-bench --test golden -- --include-ignored
+cargo test --release -p wnoc-sim --test kernel_equivalence
+
+echo "== done; review 'git status' / 'git diff' before committing =="
+git status --short crates/bench/tests/golden crates/sim/tests/golden_kernel.txt
