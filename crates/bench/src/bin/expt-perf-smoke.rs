@@ -1,6 +1,7 @@
 //! Performance smoke test of the simulation kernel: runs a fixed-seed
 //! conformance campaign (closed-loop probing across the whole scenario
-//! space), measures end-to-end throughput in scenarios per second and the
+//! space), measures end-to-end throughput in scenarios per second — plus the
+//! closed-loop kernel throughput in simulated cycles per second — and the
 //! process' peak RSS, and writes the result as `BENCH_sim.json` so the bench
 //! trajectory accumulates comparable data points.
 //!
@@ -103,6 +104,7 @@ fn main() {
     let campaign = Campaign::new(seed, scenarios);
     // Median of `samples` runs: a single sample on a shared runner flakes.
     let mut rates: Vec<f64> = Vec::with_capacity(samples);
+    let mut simulated_cycles = 0u64;
     for sample in 0..samples {
         let start = Instant::now();
         let report = match campaign.run(threads) {
@@ -120,6 +122,8 @@ fn main() {
             );
             std::process::exit(1);
         }
+        // Identical every sample (the campaign is deterministic).
+        simulated_cycles = report.simulated_cycles();
         let rate = scenarios as f64 / elapsed.max(1e-9);
         println!(
             "perf-smoke: sample {}/{samples}: {rate:.2} scenarios/sec ({elapsed:.3}s)",
@@ -134,6 +138,9 @@ fn main() {
     // remains consistent with `scenarios_per_sec` (as in single-sample
     // baselines).
     let elapsed = scenarios as f64 / scenarios_per_sec.max(1e-9);
+    // Closed-loop kernel throughput: simulated cycles per wall second at the
+    // median sample (the quantity the event-horizon kernel optimises).
+    let cycles_per_sec = simulated_cycles as f64 / elapsed.max(1e-9);
 
     let rss = peak_rss_kb();
     let raw = rates
@@ -145,13 +152,14 @@ fn main() {
         "{{\n  \"scenarios\": {scenarios},\n  \"seed\": {seed},\n  \"threads\": {threads},\n  \
          \"samples\": {samples},\n  \"raw_scenarios_per_sec\": [{raw}],\n  \
          \"elapsed_seconds\": {elapsed:.3},\n  \"scenarios_per_sec\": {scenarios_per_sec:.2},\n  \
+         \"simulated_cycles\": {simulated_cycles},\n  \"cycles_per_sec\": {cycles_per_sec:.0},\n  \
          \"peak_rss_kb\": {rss}\n}}\n"
     );
     std::fs::write(&out, &json).unwrap_or_else(|e| panic!("cannot write {out}: {e}"));
     println!(
         "perf-smoke: {scenarios} scenarios, seed {seed}, {threads} thread(s), \
-         median of {samples}: {scenarios_per_sec:.2} scenarios/sec, \
-         peak RSS {rss} kB -> {out}"
+         median of {samples}: {scenarios_per_sec:.2} scenarios/sec \
+         ({cycles_per_sec:.0} cycles/sec closed-loop), peak RSS {rss} kB -> {out}"
     );
 
     if let Some(path) = baseline {

@@ -180,6 +180,13 @@ impl ConformanceReport {
         self.outcomes.iter().all(ScenarioOutcome::passed)
     }
 
+    /// Total cycles the simulator executed across every scenario of the
+    /// campaign — the closed-loop kernel-throughput numerator reported by
+    /// `expt-perf-smoke` as `cycles_per_sec`.
+    pub fn simulated_cycles(&self) -> u64 {
+        self.outcomes.iter().map(|o| o.simulated_cycles).sum()
+    }
+
     /// Every observation of the campaign folded into one summary (merged with
     /// [`LatencyStats::merge`] in scenario order).
     pub fn observed(&self) -> LatencyStats {

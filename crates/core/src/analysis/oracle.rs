@@ -112,14 +112,18 @@ impl WcttBoundModel for RegularOracle {
     }
 
     fn packet_bound(&mut self, id: FlowId, own_flits: u32) -> Option<u64> {
-        let route = self.flows.route(id)?.clone();
-        Some(self.model.route_wctt(&route, own_flits))
+        // Destructure to borrow the route and the mutable model at once
+        // (cloning the route here used to allocate on every single query).
+        let Self { model, flows, .. } = self;
+        let route = flows.route(id)?;
+        Some(model.route_wctt(route, own_flits))
     }
 
     fn message_bound(&mut self, id: FlowId, message_flits: u32) -> Option<u64> {
-        let route = self.flows.route(id)?.clone();
         let packets = self.split(message_flits);
-        Some(self.model.message_wctt(&route, &packets))
+        let Self { model, flows, .. } = self;
+        let route = flows.route(id)?;
+        Some(model.message_wctt(route, &packets))
     }
 }
 
@@ -343,8 +347,9 @@ impl WcttBoundModel for UbdOracle {
     }
 
     fn message_bound(&mut self, id: FlowId, message_flits: u32) -> Option<u64> {
-        let route = self.flows.route(id)?.clone();
-        Some(self.model.route_message_bound(&route, message_flits))
+        let Self { model, flows, .. } = self;
+        let route = flows.route(id)?;
+        Some(model.route_message_bound(route, message_flits))
     }
 }
 
@@ -362,6 +367,16 @@ pub struct SlotOracle {
     contender_flits: u32,
     packetization: PacketizationPolicy,
     geometry: crate::packetization::PhitGeometry,
+    /// Flows per `(router, input, output)` pair, precomputed in one pass:
+    /// the envelope queries contention for every hop of every route, and
+    /// rescanning the flow set per query made this oracle dominate whole
+    /// conformance campaigns.
+    pair_counts: std::collections::HashMap<
+        (crate::geometry::Coord, crate::port::Port, crate::port::Port),
+        usize,
+    >,
+    /// Flows per `(router, output)` port, precomputed likewise.
+    output_counts: std::collections::HashMap<(crate::geometry::Coord, crate::port::Port), usize>,
 }
 
 impl SlotOracle {
@@ -373,6 +388,8 @@ impl SlotOracle {
             contender_flits: config.packetization.worst_case_contender_flits(),
             packetization: config.packetization,
             geometry: config.geometry,
+            pair_counts: flows.port_pair_count_map(),
+            output_counts: flows.output_count_map(),
         }
     }
 
@@ -389,15 +406,21 @@ impl SlotOracle {
                         .filter(|&&p| {
                             p != hop.input
                                 && p != hop.output
-                                && self.flows.port_pair_count(hop.router, p, hop.output) > 0
+                                && self
+                                    .pair_counts
+                                    .get(&(hop.router, p, hop.output))
+                                    .is_some_and(|&count| count > 0)
                         })
                         .count() as u32;
                     others + 1
                 }
                 // WaW shares the port between the flows using it.
-                ArbitrationPolicy::Waw => {
-                    self.flows.output_count(hop.router, hop.output).max(1) as u32
-                }
+                ArbitrationPolicy::Waw => self
+                    .output_counts
+                    .get(&(hop.router, hop.output))
+                    .copied()
+                    .unwrap_or(0)
+                    .max(1) as u32,
             };
             worst = worst.max(slot::contended_port_latency(
                 contenders,

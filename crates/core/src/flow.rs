@@ -313,6 +313,21 @@ impl FlowSet {
         }
         map
     }
+
+    /// For every router, the number of flows per `(input, output)` port pair,
+    /// as a map — [`FlowSet::port_pair_count`] precomputed in one O(total
+    /// hops) pass.  Analyses that query contention for every hop of every
+    /// route (the slot envelope) use this instead of rescanning the flow set
+    /// per query.
+    pub fn port_pair_count_map(&self) -> HashMap<(Coord, Port, Port), usize> {
+        let mut map = HashMap::new();
+        for route in &self.routes {
+            for hop in route.hops() {
+                *map.entry((hop.router, hop.input, hop.output)).or_insert(0) += 1;
+            }
+        }
+        map
+    }
 }
 
 /// The paper's `I_dir` equations (Section III): number of **source nodes** whose

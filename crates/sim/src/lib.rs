@@ -17,11 +17,18 @@
 //!   saturated hotspot runs used to observe worst-case behaviour — [`traffic`],
 //!   [`sim`].
 //!
-//! Execution uses an allocation-free **active-set kernel**: all in-flight
+//! Execution uses an allocation-free **event-horizon kernel**: all in-flight
 //! flits live in one [`arena`] slab and every queue holds 4-byte handles,
-//! while dirty-bit worklists restrict each cycle to the routers, links and
-//! NICs that actually carry traffic (see [`network`] for the design notes and
-//! `docs/ARCHITECTURE.md` for the full data-layout discussion).
+//! worklists restrict each cycle to the routers, links and NICs that can
+//! actually *act* (blocked components are skipped, their arbiter state
+//! replayed lazily in closed form), drivers jump the clock straight to the
+//! next event horizon, and a lone worm in an otherwise-empty network is
+//! delivered by a contention-free closed-form fast-forward.  The dense
+//! per-cycle reference scheduler is retained behind
+//! [`network::Network::set_dense_kernel`] (construction default under the
+//! `dense-kernel` cargo feature) as a differential-testing oracle — the two
+//! schedulers are bit-for-bit equivalent (see [`network`] for the design
+//! notes and `docs/ARCHITECTURE.md` for the full discussion).
 //!
 //! # Example
 //!

@@ -50,6 +50,14 @@ impl SimLink {
         self.len
     }
 
+    /// The absolute delivery cycle of the oldest in-flight flit, if any —
+    /// the link's event horizon.  Pushes happen at most once per cycle with
+    /// a fixed latency, so the head of the ring always carries the earliest
+    /// due cycle.
+    pub fn next_due(&self) -> Option<Cycle> {
+        (self.len > 0).then(|| self.slots[self.head].0)
+    }
+
     /// Returns `true` if a flit can be pushed in cycle `now`.
     pub fn can_accept(&self, now: Cycle) -> bool {
         self.last_push != Some(now) && self.len < self.slots.len()

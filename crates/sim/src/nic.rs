@@ -8,6 +8,12 @@
 //!
 //! Flits are allocated into the network's [`FlitArena`] at offer time; the
 //! injection queue holds [`FlitId`] handles only.
+//!
+//! Under the event-horizon scheduler a NIC is *actable* — worth visiting —
+//! exactly while it is back-logged and the router's local input buffer has a
+//! free slot: its next injection-eligible cycle is either the next cycle
+//! (slot available) or the cycle the router next forwards a flit out of the
+//! local buffer, which re-lists it with dense-kernel timing.
 
 use std::collections::VecDeque;
 

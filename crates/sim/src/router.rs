@@ -10,12 +10,23 @@
 //! * routing decisions come from a per-router lookup table precomputed from
 //!   XY routing at construction (no mesh clone per router, no arithmetic on
 //!   the hot path);
-//! * a router that holds no flits can be *skipped* entirely by the scheduler:
-//!   [`Router::decide`] tracks the cycle it last ran and replays the skipped
-//!   idle cycles into its arbiters in O(1)
+//! * a router that cannot forward anything — empty **or** blocked on credits
+//!   or upstream arrivals — can be *skipped* entirely by the event-horizon
+//!   scheduler: the router tracks the cycle it last decided and replays the
+//!   skipped cycles into its arbiters in O(1)
 //!   ([`PortArbiter::idle_for`](wnoc_core::arbitration::PortArbiter::idle_for))
-//!   before taking new decisions, so skipping is behaviour-identical to
-//!   visiting every router every cycle.
+//!   before the next observation, so skipping is behaviour-identical to
+//!   visiting every router every cycle.  The replay is *request-aware*: a
+//!   skipped cycle issues an idle grant only on outputs that had neither a
+//!   wormhole hold nor a pending head-of-line request, exactly as a dense
+//!   per-cycle `decide` would have.  Because a skipped router by definition
+//!   forwards nothing, its buffer fronts are frozen for the whole skipped
+//!   interval — the replay recomputes the request sets from the current
+//!   fronts and is exact.  The interval is closed out *before* any state
+//!   mutation that could change a request set ([`Router::accept`] replays up
+//!   to and including the arrival cycle before enqueueing the new flit);
+//!   credit returns commute with the replay (request sets do not depend on
+//!   credits), so they need no replay of their own.
 
 use wnoc_core::arbitration::{make_arbiter, ArbitrationPolicy, PortArbiter};
 use wnoc_core::routing::{RoutingAlgorithm, XyRouting};
@@ -57,9 +68,20 @@ pub struct Router {
     /// Buffered flits across all inputs, maintained incrementally so the
     /// active-set scheduler's busy check is O(1).
     buffered: usize,
-    /// Cycle of the last [`Router::decide`] call (0 before the first): the
-    /// scheduler may skip idle cycles, which are replayed into the arbiters.
+    /// Cycle up to which this router's per-cycle behaviour is accounted for
+    /// (0 before the first decision): the event-horizon scheduler skips
+    /// cycles in which the router provably forwards nothing, and the skipped
+    /// interval is replayed into the arbiters in O(1) on the next
+    /// observation ([`Router::replay_idle`]).
     last_decide: Cycle,
+    /// Idle grants owed to each output's arbiter and not yet applied.  Idle
+    /// replenishment is only *observable* at the next grant on the same
+    /// output, so instead of a virtual `grant(&[])` per idle output per
+    /// cycle, the router accrues a per-output debt and flushes it — in
+    /// order, via the O(1) `idle_for` closed form — immediately before that
+    /// grant ([`Router::flush_idle_debt`]).  No reordering ever happens:
+    /// consecutive idle cycles are the only thing coalesced.
+    idle_debt: [u64; Port::COUNT],
 }
 
 impl std::fmt::Debug for Router {
@@ -143,6 +165,7 @@ impl Router {
             route,
             buffered: 0,
             last_decide: 0,
+            idle_debt: [0; Port::COUNT],
         }
     }
 
@@ -214,14 +237,87 @@ impl Router {
         self.credits[port.index()] += 1;
     }
 
-    /// Accepts a flit into the input buffer of `port`.
+    /// Returns `true` if any input buffer's head-of-line flit is a header
+    /// routed to `output` — the request set a dense per-cycle `decide` would
+    /// build for that output (nothing is consumed on a no-forward cycle, so
+    /// this is exact for every skipped cycle).
+    fn any_request_for(&self, arena: &FlitArena, output: Port) -> bool {
+        for input in Port::ALL {
+            let Some(buffer) = &self.inputs[input.index()] else {
+                continue;
+            };
+            let Some(front) = buffer.front() else {
+                continue;
+            };
+            let front = arena.get(front);
+            if front.kind.is_head() && self.route[front.dst.index()] == output {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Replays the skipped cycles `last_decide + 1 ..= next - 1` into the
+    /// arbiters, in O(1) per output via the
+    /// [`idle_for`](wnoc_core::arbitration::PortArbiter::idle_for) closed
+    /// form.
+    ///
+    /// The event-horizon scheduler only skips a router while it provably
+    /// forwards nothing, so each skipped cycle behaves exactly like a dense
+    /// `decide` on the frozen state: outputs with a wormhole hold never
+    /// consult their arbiter, outputs with a pending request but no credit
+    /// leave it untouched, and only hold-free request-free outputs issue an
+    /// idle grant.  Buffer fronts are frozen across the interval (no
+    /// forwards), so recomputing the request sets from the current fronts
+    /// reproduces every skipped cycle bit for bit.
+    pub fn replay_idle(&mut self, arena: &FlitArena, next: Cycle) {
+        let through = next.saturating_sub(1);
+        if through <= self.last_decide {
+            return;
+        }
+        let skipped = through - self.last_decide;
+        for output in Port::ALL {
+            if self.holds[output.index()].is_none() && !self.any_request_for(arena, output) {
+                self.idle_debt[output.index()] += skipped;
+            }
+        }
+        self.last_decide = through;
+    }
+
+    /// Applies the accrued idle grants of output `oi` — always called right
+    /// before a real grant on it, so the arbiter observes the exact dense
+    /// sequence of idle and granted cycles.
+    #[inline]
+    fn flush_idle_debt(&mut self, oi: usize) {
+        let debt = std::mem::take(&mut self.idle_debt[oi]);
+        if debt > 0 {
+            self.arbiters[oi].idle_for(debt);
+        }
+    }
+
+    /// Accepts a flit into the input buffer of `port` in cycle `now`.
+    ///
+    /// The arrival becomes visible to arbitration in cycle `now + 1` (the
+    /// network delivers flits after the decision phase), so any cycles the
+    /// scheduler skipped — including `now` itself — are first replayed into
+    /// the arbiters against the pre-arrival buffer state.
     ///
     /// # Errors
     ///
     /// Returns `Err(id)` if the buffer is full — this indicates a credit
     /// flow-control violation and is treated as a fatal simulation error by the
     /// network.
-    pub fn accept(&mut self, port: Port, id: FlitId) -> Result<(), FlitId> {
+    pub fn accept(
+        &mut self,
+        arena: &FlitArena,
+        now: Cycle,
+        port: Port,
+        id: FlitId,
+    ) -> Result<(), FlitId> {
+        if self.inputs[port.index()].is_none() {
+            return Err(id);
+        }
+        self.replay_idle(arena, now + 1);
         match &mut self.inputs[port.index()] {
             Some(buffer) => {
                 buffer.push(id)?;
@@ -235,8 +331,8 @@ impl Router {
     /// Runs one cycle of switch allocation and traversal for cycle `now`,
     /// removing the forwarded flits from their input buffers and consuming
     /// credits.  Cycles skipped since the previous call (the scheduler only
-    /// visits routers that hold flits) are first replayed into the arbiters
-    /// as idle cycles.
+    /// visits routers that can forward) are first replayed into the arbiters
+    /// via [`Router::replay_idle`].
     ///
     /// Appends at most one [`Forward`] per output port to `forwards` (the
     /// caller's reusable scratch buffer, which is *not* cleared here); the
@@ -244,53 +340,81 @@ impl Router {
     /// onto the corresponding link or ejection sink and for returning a
     /// credit to the upstream router of the drained input port.
     pub fn decide(&mut self, arena: &FlitArena, now: Cycle, forwards: &mut Vec<Forward>) {
-        // Catch up on skipped idle cycles.  While a router holds no flits the
-        // dense reference kernel would still have called `decide` every
-        // cycle: outputs with a wormhole hold do nothing (the continuation
-        // branch never consults the arbiter), every other output issues an
-        // idle grant.  Holds and buffer occupancy cannot change while the
-        // router is skipped, so the replay below is exact.
-        let skipped = now.saturating_sub(self.last_decide).saturating_sub(1);
-        if skipped > 0 {
-            for output in Port::ALL {
-                if self.holds[output.index()].is_none() {
-                    self.arbiters[output.index()].idle_for(skipped);
-                }
-            }
-        }
+        self.replay_idle(arena, now);
         self.last_decide = now;
 
-        // Inputs already consumed this cycle (an input can feed one output).
-        let mut consumed = [false; Port::COUNT];
+        // Inputs already consumed this cycle (an input can feed one output),
+        // as a bitmask over input-port indices.
+        let mut consumed_mask = 0u8;
+
+        // One pass over the head-of-line flits: everything the per-output
+        // loop needs (tail kind, packet id) is cached here, and the request
+        // set of every output is prebuilt as a bitmask of requesting inputs
+        // — turning the 5-output × 5-input scan with up to 25 arena
+        // dereferences into one 5-input pass.  A cache entry goes stale the
+        // moment its input is consumed, and `consumed_mask` masks exactly
+        // those entries.
+        #[derive(Clone, Copy)]
+        struct FrontCache {
+            id: FlitId,
+            tail: bool,
+            packet: PacketId,
+        }
+        let mut fronts: [Option<FrontCache>; Port::COUNT] = [None; Port::COUNT];
+        let mut request_masks = [0u8; Port::COUNT];
+        if self.buffered > 0 {
+            for input in Port::ALL {
+                let Some(buffer) = &self.inputs[input.index()] else {
+                    continue;
+                };
+                let Some(id) = buffer.front() else {
+                    continue;
+                };
+                let flit = arena.get(id);
+                if flit.kind.is_head() {
+                    // A header at the front requests its routed output; a
+                    // body flit never does (the wormhole hold guarantees an
+                    // orphaned body cannot happen).
+                    request_masks[self.route[flit.dst.index()].index()] |= 1 << input.index();
+                }
+                fronts[input.index()] = Some(FrontCache {
+                    id,
+                    tail: flit.kind.is_tail(),
+                    packet: flit.packet,
+                });
+            }
+        }
 
         for output in Port::ALL {
             let oi = output.index();
             if let Some(hold) = self.holds[oi] {
                 // Wormhole continuation: only the holding packet may use the
                 // output, no arbitration needed.
-                if consumed[hold.input.index()] {
+                let ii = hold.input.index();
+                if consumed_mask & (1 << ii) != 0 {
                     continue;
                 }
                 let has_credit = output == Port::Local || self.credits[oi] > 0;
                 if !has_credit {
                     continue;
                 }
-                let Some(buffer) = self.inputs[hold.input.index()].as_mut() else {
+                let Some(front) = fronts[ii] else {
                     continue;
                 };
-                let matches = buffer
-                    .front()
-                    .is_some_and(|id| arena.get(id).packet == hold.packet);
-                if !matches {
+                if front.packet != hold.packet {
                     continue;
                 }
-                let id = buffer.pop().expect("front checked above");
+                let id = self.inputs[ii]
+                    .as_mut()
+                    .and_then(FlitBuffer::pop)
+                    .expect("cached front exists");
+                debug_assert_eq!(id, front.id);
                 self.buffered -= 1;
-                consumed[hold.input.index()] = true;
+                consumed_mask |= 1 << ii;
                 if output != Port::Local {
                     self.credits[oi] -= 1;
                 }
-                if arena.get(id).kind.is_tail() {
+                if front.tail {
                     self.holds[oi] = None;
                 }
                 forwards.push(Forward {
@@ -305,54 +429,48 @@ impl Router {
             // is a header routed to this output.  Fixed-size request set: this
             // loop runs for every busy router every cycle and must not
             // allocate.
-            let mut requests = [Port::Local; Port::COUNT];
-            let mut request_count = 0;
-            for input in Port::ALL {
-                if consumed[input.index()] {
-                    continue;
-                }
-                let Some(buffer) = self.inputs[input.index()].as_ref() else {
-                    continue;
-                };
-                let Some(front) = buffer.front() else {
-                    continue;
-                };
-                let front = arena.get(front);
-                if !front.kind.is_head() {
-                    // An orphaned body flit would indicate a protocol bug; the
-                    // wormhole hold guarantees this cannot happen.
-                    continue;
-                }
-                if self.route[front.dst.index()] == output {
-                    requests[request_count] = input;
-                    request_count += 1;
-                }
-            }
-            let requests = &requests[..request_count];
+            let mask = request_masks[oi] & !consumed_mask;
             let has_credit = output == Port::Local || self.credits[oi] > 0;
-            if requests.is_empty() || !has_credit {
-                // Let the WaW arbiter replenish its counters on idle cycles.
-                if requests.is_empty() {
-                    let _ = self.arbiters[oi].grant(&[]);
+            if mask == 0 || !has_credit {
+                // The WaW arbiter replenishes its counters on idle cycles;
+                // the replenishment is only observable at the next grant, so
+                // it accrues as debt instead of a virtual call per cycle.
+                if mask == 0 {
+                    self.idle_debt[oi] += 1;
                 }
                 continue;
             }
+            // Expand the mask in ascending input-index order — the order the
+            // dense request scan produced.
+            let mut requests = [Port::Local; Port::COUNT];
+            let mut request_count = 0;
+            let mut bits = mask;
+            while bits != 0 {
+                requests[request_count] = Port::from_index(bits.trailing_zeros() as usize);
+                request_count += 1;
+                bits &= bits - 1;
+            }
+            let requests = &requests[..request_count];
+            self.flush_idle_debt(oi);
             let Some(winner) = self.arbiters[oi].grant(requests) else {
                 continue;
             };
-            let buffer = self.inputs[winner.index()]
+            let wi = winner.index();
+            let front = fronts[wi].expect("winner had a cached front");
+            let id = self.inputs[wi]
                 .as_mut()
-                .expect("winner has a buffer");
-            let id = buffer.pop().expect("winner had a head flit");
+                .and_then(FlitBuffer::pop)
+                .expect("winner had a head flit");
+            debug_assert_eq!(id, front.id);
             self.buffered -= 1;
-            consumed[winner.index()] = true;
+            consumed_mask |= 1 << wi;
             if output != Port::Local {
                 self.credits[oi] -= 1;
             }
-            if !arena.get(id).kind.is_tail() {
+            if !front.tail {
                 self.holds[oi] = Some(Hold {
                     input: winner,
-                    packet: arena.get(id).packet,
+                    packet: front.packet,
                 });
             }
             forwards.push(Forward {
@@ -361,6 +479,85 @@ impl Router {
                 flit: id,
             });
         }
+    }
+
+    /// The output port XY routing assigns for traffic to `dst` (used by the
+    /// contention-free worm fast-forward to walk the latched path).
+    pub(crate) fn route_to(&self, dst: wnoc_core::NodeId) -> Port {
+        self.route[dst.index()]
+    }
+
+    /// If the router buffers exactly one flit across all inputs, returns the
+    /// input port holding it and its handle.
+    pub(crate) fn only_flit(&self) -> Option<(Port, FlitId)> {
+        if self.buffered != 1 {
+            return None;
+        }
+        for port in Port::ALL {
+            if let Some(buffer) = &self.inputs[port.index()] {
+                if let Some(front) = buffer.front() {
+                    return Some((port, front));
+                }
+            }
+        }
+        None
+    }
+
+    /// The packet currently holding output `port`, if any.
+    pub(crate) fn hold_packet(&self, port: Port) -> Option<PacketId> {
+        self.holds[port.index()].map(|h| h.packet)
+    }
+
+    /// Fast-forward: removes the single remaining flit from `input` (its
+    /// transfer has been applied in closed form).
+    pub(crate) fn ff_pop(&mut self, input: Port) -> FlitId {
+        let id = self.inputs[input.index()]
+            .as_mut()
+            .and_then(FlitBuffer::pop)
+            .expect("fast-forward pops a verified flit");
+        self.buffered -= 1;
+        id
+    }
+
+    /// Fast-forward: applies, in closed form, the arbiter side effects of a
+    /// contention-free worm transit through this router.
+    ///
+    /// The dense kernel would have called `decide` for the `span` consecutive
+    /// cycles starting at `first_decide`, each forwarding exactly one worm
+    /// flit through `out`: header flits receive a single-requester grant (in
+    /// arrival order, from the input listed in `head_inputs`), continuation
+    /// flits ride the wormhole hold without consulting the arbiter, and every
+    /// other output — request-free for the whole span, since the worm is the
+    /// only traffic — issues one idle grant per cycle.  Cycles skipped
+    /// *before* the worm reached this router are replayed first, against the
+    /// pre-transit state.  The worm's tail passes last, so the hold on `out`
+    /// ends cleared.
+    pub(crate) fn ff_transit(
+        &mut self,
+        arena: &FlitArena,
+        out: Port,
+        head_inputs: &[Port],
+        first_decide: Cycle,
+        span: u64,
+    ) {
+        self.replay_idle(arena, first_decide);
+        for output in Port::ALL {
+            if output == out {
+                continue;
+            }
+            debug_assert!(
+                self.holds[output.index()].is_none(),
+                "single-worm fast-forward implies no hold off the worm's path"
+            );
+            self.idle_debt[output.index()] += span;
+        }
+        for &input in head_inputs {
+            self.flush_idle_debt(out.index());
+            let granted = self.arbiters[out.index()].grant(&[input]);
+            debug_assert_eq!(granted, Some(input), "single requester is always granted");
+        }
+        self.holds[out.index()] = None;
+        self.last_decide = first_decide + span - 1;
     }
 }
 
@@ -399,6 +596,11 @@ mod tests {
         fn new() -> Self {
             Self(0)
         }
+        /// Cycles completed so far — the `now` an arrival at the end of the
+        /// current cycle carries into [`Router::accept`].
+        fn now(&self) -> Cycle {
+            self.0
+        }
         fn decide(&mut self, r: &mut Router, arena: &FlitArena) -> Vec<Forward> {
             self.0 += 1;
             let mut forwards = Vec::new();
@@ -415,8 +617,8 @@ mod tests {
         let mut r = router(&mesh, Coord::new(1, 1), ArbitrationPolicy::RoundRobin);
         // Destination is the node to the west: (0, 1).
         let dst = mesh.node_id(Coord::new(0, 1)).unwrap();
-        r.accept(Port::Local, flit(&mut arena, dst, FlitKind::HeadTail, 1, 0))
-            .unwrap();
+        let id = flit(&mut arena, dst, FlitKind::HeadTail, 1, 0);
+        r.accept(&arena, clock.now(), Port::Local, id).unwrap();
         let forwards = clock.decide(&mut r, &arena);
         assert_eq!(forwards.len(), 1);
         assert_eq!(forwards[0].output, Port::Mesh(wnoc_core::Direction::West));
@@ -434,9 +636,12 @@ mod tests {
         let coord = Coord::new(2, 2);
         let mut r = router(&mesh, coord, ArbitrationPolicy::RoundRobin);
         let dst = mesh.node_id(coord).unwrap();
+        let id = flit(&mut arena, dst, FlitKind::HeadTail, 9, 0);
         r.accept(
+            &arena,
+            clock.now(),
             Port::Mesh(wnoc_core::Direction::East),
-            flit(&mut arena, dst, FlitKind::HeadTail, 9, 0),
+            id,
         )
         .unwrap();
         let forwards = clock.decide(&mut r, &arena);
@@ -454,24 +659,20 @@ mod tests {
         let west_dst = mesh.node_id(Coord::new(0, 1)).unwrap();
         // A three-flit packet from the local port, and a competing single-flit
         // packet from the east input, both heading west.
+        for (kind, seq) in [
+            (FlitKind::Head, 0),
+            (FlitKind::Body, 1),
+            (FlitKind::Tail, 2),
+        ] {
+            let id = flit(&mut arena, west_dst, kind, 1, seq);
+            r.accept(&arena, clock.now(), Port::Local, id).unwrap();
+        }
+        let id = flit(&mut arena, west_dst, FlitKind::HeadTail, 2, 0);
         r.accept(
-            Port::Local,
-            flit(&mut arena, west_dst, FlitKind::Head, 1, 0),
-        )
-        .unwrap();
-        r.accept(
-            Port::Local,
-            flit(&mut arena, west_dst, FlitKind::Body, 1, 1),
-        )
-        .unwrap();
-        r.accept(
-            Port::Local,
-            flit(&mut arena, west_dst, FlitKind::Tail, 1, 2),
-        )
-        .unwrap();
-        r.accept(
+            &arena,
+            clock.now(),
             Port::Mesh(wnoc_core::Direction::East),
-            flit(&mut arena, west_dst, FlitKind::HeadTail, 2, 0),
+            id,
         )
         .unwrap();
 
@@ -508,16 +709,10 @@ mod tests {
             &[1; Port::COUNT],
         );
         let west_dst = mesh.node_id(Coord::new(0, 1)).unwrap();
-        r.accept(
-            Port::Local,
-            flit(&mut arena, west_dst, FlitKind::Head, 1, 0),
-        )
-        .unwrap();
-        r.accept(
-            Port::Local,
-            flit(&mut arena, west_dst, FlitKind::Tail, 1, 1),
-        )
-        .unwrap();
+        let id = flit(&mut arena, west_dst, FlitKind::Head, 1, 0);
+        r.accept(&arena, clock.now(), Port::Local, id).unwrap();
+        let id = flit(&mut arena, west_dst, FlitKind::Tail, 1, 1);
+        r.accept(&arena, clock.now(), Port::Local, id).unwrap();
         assert_eq!(clock.decide(&mut r, &arena).len(), 1);
         // Credit exhausted: the tail cannot move until a credit returns.
         assert_eq!(clock.decide(&mut r, &arena).len(), 0);
@@ -533,11 +728,9 @@ mod tests {
         let mut r = router(&mesh, Coord::new(0, 0), ArbitrationPolicy::RoundRobin);
         let dst = mesh.node_id(Coord::new(3, 3)).unwrap();
         // The corner router has no west or north port.
+        let id = flit(&mut arena, dst, FlitKind::HeadTail, 1, 0);
         assert!(r
-            .accept(
-                Port::Mesh(wnoc_core::Direction::West),
-                flit(&mut arena, dst, FlitKind::HeadTail, 1, 0)
-            )
+            .accept(&arena, 0, Port::Mesh(wnoc_core::Direction::West), id)
             .is_err());
         assert_eq!(r.free_slots(Port::Mesh(wnoc_core::Direction::North)), 0);
         assert!(r.free_slots(Port::Local) > 0);
@@ -551,14 +744,14 @@ mod tests {
         let mut r = router(&mesh, Coord::new(1, 1), ArbitrationPolicy::RoundRobin);
         let west_dst = mesh.node_id(Coord::new(0, 1)).unwrap();
         let south_dst = mesh.node_id(Coord::new(1, 3)).unwrap();
+        let id = flit(&mut arena, west_dst, FlitKind::HeadTail, 1, 0);
+        r.accept(&arena, clock.now(), Port::Local, id).unwrap();
+        let id = flit(&mut arena, south_dst, FlitKind::HeadTail, 2, 0);
         r.accept(
-            Port::Local,
-            flit(&mut arena, west_dst, FlitKind::HeadTail, 1, 0),
-        )
-        .unwrap();
-        r.accept(
+            &arena,
+            clock.now(),
             Port::Mesh(wnoc_core::Direction::North),
-            flit(&mut arena, south_dst, FlitKind::HeadTail, 2, 0),
+            id,
         )
         .unwrap();
         let forwards = clock.decide(&mut r, &arena);
@@ -590,13 +783,13 @@ mod tests {
                 if inject {
                     if r.free_slots(east) > 0 {
                         packet += 1;
-                        r.accept(east, flit(&mut arena, dst, FlitKind::HeadTail, packet, 0))
-                            .unwrap();
+                        let id = flit(&mut arena, dst, FlitKind::HeadTail, packet, 0);
+                        r.accept(&arena, cycle - 1, east, id).unwrap();
                     }
                     if r.free_slots(south) > 0 {
                         packet += 1;
-                        r.accept(south, flit(&mut arena, dst, FlitKind::HeadTail, packet, 0))
-                            .unwrap();
+                        let id = flit(&mut arena, dst, FlitKind::HeadTail, packet, 0);
+                        r.accept(&arena, cycle - 1, south, id).unwrap();
                     }
                 }
                 if idle_window {
@@ -643,13 +836,13 @@ mod tests {
             // Keep both inputs saturated with single-flit packets.
             while r.free_slots(east) > 0 {
                 packet += 1;
-                r.accept(east, flit(&mut arena, dst, FlitKind::HeadTail, packet, 0))
-                    .unwrap();
+                let id = flit(&mut arena, dst, FlitKind::HeadTail, packet, 0);
+                r.accept(&arena, clock.now(), east, id).unwrap();
             }
             while r.free_slots(south) > 0 {
                 packet += 1;
-                r.accept(south, flit(&mut arena, dst, FlitKind::HeadTail, packet, 0))
-                    .unwrap();
+                let id = flit(&mut arena, dst, FlitKind::HeadTail, packet, 0);
+                r.accept(&arena, clock.now(), south, id).unwrap();
             }
             for f in clock.decide(&mut r, &arena) {
                 if f.output == Port::Local {

@@ -137,6 +137,13 @@ impl Simulation {
         &self.network
     }
 
+    /// Selects the scheduler of the underlying network (see
+    /// [`Network::set_dense_kernel`]): the dense per-cycle reference is the
+    /// differential-testing oracle for the event-horizon kernel.
+    pub fn set_dense_kernel(&mut self, dense: bool) {
+        self.network.set_dense_kernel(dense);
+    }
+
     /// Mutable access to the underlying network (for custom drivers).
     pub fn network_mut(&mut self) -> &mut Network {
         &mut self.network
@@ -273,7 +280,11 @@ impl Simulation {
         by_src.sort_by_key(|(src, _)| *src);
 
         let mut next: Vec<usize> = vec![0; by_src.len()];
-        let mut outstanding: Vec<bool> = vec![false; by_src.len()];
+        // Probing slots with no outstanding message: every slot starts free,
+        // and a slot is freed exactly once per delivery, so the list never
+        // holds duplicates.  Scanning only freed slots (instead of every
+        // source every cycle) keeps the driver O(deliveries).
+        let mut free: Vec<u32> = (0..by_src.len() as u32).collect();
         // Source node index -> probing slot, so completing a delivery is an
         // array lookup instead of a hash probe (this loop runs every cycle
         // over every source).
@@ -282,25 +293,48 @@ impl Simulation {
             slot_of_node[src.index()] = slot as u32;
         }
 
-        // Reused across cycles so polling deliveries never reallocates.
+        // The probing loop advances horizon to horizon instead of cycle to
+        // cycle: probes are offered at the same absolute cycles as under
+        // per-cycle stepping (a source only becomes free at a delivery, and
+        // deliveries only happen at stepped cycles), so the reports are
+        // bit-for-bit identical while inert stretches — and whole lone-worm
+        // flights — are skipped in closed form.
+        let start = self.network.cycle();
+        let limit = start + cycles;
+        // Reused across iterations so polling deliveries never reallocates.
         let mut arrived = Vec::new();
-        for _ in 0..cycles {
-            for (slot, (_, list)) in by_src.iter().enumerate() {
-                if !outstanding[slot] {
+        while self.network.cycle() < limit {
+            if !free.is_empty() {
+                // Ascending slot order matches the dense driver's scan.
+                if free.len() > 1 {
+                    free.sort_unstable();
+                }
+                for &slot in &free {
+                    let slot = slot as usize;
+                    let (_, list) = &by_src[slot];
                     let flow = flows
                         .flow(list[next[slot] % list.len()])
                         .expect("flow id from the same set");
                     next[slot] += 1;
                     self.network.offer(flow.src, flow.dst, message_flits)?;
-                    outstanding[slot] = true;
                 }
+                free.clear();
             }
-            self.network.step();
+            if !self.network.try_worm_fast_forward(limit) {
+                let horizon = match self.network.next_horizon() {
+                    Some(horizon) => horizon.min(limit),
+                    // Nothing will ever happen again (deadlock with every
+                    // probe outstanding): the dense kernel would idle to the
+                    // window's end and fail in the drain below.
+                    None => limit,
+                };
+                self.network.advance_to(horizon);
+            }
             self.network.drain_delivered_into(&mut arrived);
             for delivered in arrived.drain(..) {
                 let slot = slot_of_node[delivered.src.index()];
                 if slot != u32::MAX {
-                    outstanding[slot as usize] = false;
+                    free.push(slot);
                 }
             }
         }

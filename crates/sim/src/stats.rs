@@ -5,9 +5,7 @@ use std::collections::HashMap;
 
 use serde::{Deserialize, Serialize};
 
-use wnoc_core::{Coord, Cycle, FlowId, Port};
-
-use crate::hash::FxBuildHasher;
+use wnoc_core::{Cycle, FlowId};
 
 /// Running summary of a latency distribution (count, sum, min, max).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -97,10 +95,6 @@ pub struct NetworkStats {
     /// Network traversal latency (injection of first flit to delivery of last
     /// flit) per flow.
     pub traversal_latency: HashMap<FlowId, LatencyStats>,
-    /// Flits forwarded per (router, output port), for utilisation reports.
-    /// Keyed with the deterministic [`FxBuildHasher`](crate::hash): this map
-    /// is bumped once per flit per hop, squarely on the simulator's hot path.
-    pub port_flits: HashMap<(Coord, Port), u64, FxBuildHasher>,
 }
 
 impl NetworkStats {
@@ -120,11 +114,6 @@ impl NetworkStats {
             .entry(flow)
             .or_default()
             .record(traversal);
-    }
-
-    /// Records one flit forwarded through `(router, output)`.
-    pub fn record_port_flit(&mut self, router: Coord, output: Port) {
-        *self.port_flits.entry((router, output)).or_insert(0) += 1;
     }
 
     /// Aggregate message-latency summary across all flows.
@@ -153,15 +142,6 @@ impl NetworkStats {
     /// Traversal latency summary of one flow.
     pub fn flow_traversal_latency(&self, flow: FlowId) -> Option<&LatencyStats> {
         self.traversal_latency.get(&flow)
-    }
-
-    /// Utilisation of `(router, output)` as flits per cycle over the run.
-    pub fn port_utilisation(&self, router: Coord, output: Port) -> f64 {
-        if self.cycles == 0 {
-            return 0.0;
-        }
-        let flits = self.port_flits.get(&(router, output)).copied().unwrap_or(0);
-        flits as f64 / self.cycles as f64
     }
 
     /// Accepted throughput in flits per cycle.
@@ -274,16 +254,11 @@ mod tests {
     }
 
     #[test]
-    fn utilisation_and_throughput() {
+    fn throughput_tracks_delivered_flits() {
         let mut stats = NetworkStats::new();
         stats.cycles = 100;
         stats.flits_delivered = 50;
-        for _ in 0..25 {
-            stats.record_port_flit(Coord::new(0, 0), Port::Local);
-        }
-        assert!((stats.port_utilisation(Coord::new(0, 0), Port::Local) - 0.25).abs() < 1e-9);
         assert!((stats.delivered_throughput() - 0.5).abs() < 1e-9);
-        assert_eq!(stats.port_utilisation(Coord::new(1, 1), Port::Local), 0.0);
     }
 
     #[test]

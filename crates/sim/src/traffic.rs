@@ -39,6 +39,12 @@ pub enum TrafficPattern {
 /// A Bernoulli-injection synthetic traffic generator: every cycle each node
 /// independently generates a message with probability `injection_rate`.
 ///
+/// The per-cycle draw *is* the injection semantics (one RNG stream advance
+/// per node per cycle), so the open-loop driver ticks the network cycle by
+/// cycle while a generator is attached; only the closed-loop and drain
+/// drivers advance horizon to horizon.  Offered messages carry absolute
+/// creation cycles either way.
+///
 /// # Examples
 ///
 /// ```

@@ -120,4 +120,38 @@ fn steady_state_stepping_does_not_allocate() {
     noc.drain_delivered_into(&mut sink);
     assert_eq!(sink.len(), 2 * 4 * flows.len());
     assert!(noc.arena().is_empty());
+
+    // Sparse phase: a lone worm crossing the drained mesh is delivered by
+    // the event-horizon machinery — blocked-router skipping, horizon
+    // advancement and the contention-free worm fast-forward — and none of it
+    // may allocate either (the fast-forward scratch is preallocated at
+    // construction).  Offering happens outside the armed window, as above.
+    let fast_forwards_before = noc.fast_forwards();
+    let corner = flows
+        .flows()
+        .iter()
+        .map(|f| f.src)
+        .max()
+        .expect("hotspot set has sources");
+    let dst = mesh.node_id(hotspot).unwrap();
+    noc.offer(corner, dst, 4).unwrap();
+
+    ALLOCATIONS.store(0, Ordering::SeqCst);
+    ARMED.store(true, Ordering::SeqCst);
+    let drained = noc.run_until_drained(100_000);
+    ARMED.store(false, Ordering::SeqCst);
+
+    assert!(drained, "sparse worm must drain");
+    let allocations = ALLOCATIONS.load(Ordering::SeqCst);
+    assert_eq!(
+        allocations, 0,
+        "horizon scheduling allocated {allocations} times on the sparse phase"
+    );
+    assert!(
+        noc.fast_forwards() > fast_forwards_before,
+        "the lone worm should have been delivered by the fast-forward"
+    );
+    noc.drain_delivered_into(&mut sink);
+    assert_eq!(sink.len(), 2 * 4 * flows.len() + 1);
+    assert!(noc.arena().is_empty());
 }
