@@ -1,0 +1,194 @@
+//! Sharded, checkpointed conformance campaign: partitions the scenario space
+//! into contiguous shard ranges, runs each shard as an independent worker
+//! *process*, and merges the checkpointed partial reports into a final
+//! report byte-identical to the single-process `expt-conformance` run.
+//!
+//! Usage: `expt-campaign --dir DIR [--scenarios N] [--seed S] [--shards K]
+//!                       [--workers W] [--buffer-depths] [--report PATH]
+//!                       [--fresh] [--halt-after-shards N]`
+//!
+//! Defaults: 200 scenarios, seed 7, one shard and one worker per available
+//! core.  `DIR` is the campaign directory holding per-shard checkpoints
+//! (`shard-NNN.partial.json` + `shard-NNN.manifest.json`); re-invoking on an
+//! interrupted directory validates every checkpoint and re-runs only the
+//! missing or corrupt shards, so a killed campaign resumes from the last
+//! completed shard.  A directory written by a *different* campaign
+//! configuration is rejected (pass `--fresh` to wipe it).
+//!
+//! `--halt-after-shards N` stops the invocation after N shards complete
+//! (killing in-flight workers) and exits with code 3 — a deterministic
+//! "campaign died" for resume tests and the CI smoke.
+//!
+//! The stdout summary (shard table + conformance report) depends only on
+//! `(scenarios, seed, dimension, shards)` — never on worker count, shard
+//! completion order, or how many invocations it took — so it is
+//! snapshot-testable; paths and timing go to stderr.  Exits non-zero if any
+//! dominance or ordering violation is found.
+//!
+//! The internal flag `--worker-shard K` is how the orchestrator invokes
+//! itself as a shard worker; it is not part of the user interface.
+
+use std::process::{Command, Stdio};
+use std::time::Instant;
+
+use wnoc_conformance::{Campaign, Fleet};
+
+fn main() {
+    // This binary gates CI, so misconfiguration must be loud: unknown flags
+    // are an error, never silently replaced by defaults.
+    let default_parallelism = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut dir: Option<String> = None;
+    let mut scenarios: usize = 200;
+    let mut seed: u64 = 7;
+    let mut shards: usize = default_parallelism;
+    let mut workers: usize = default_parallelism;
+    let mut buffer_depths = false;
+    let mut report_path: Option<String> = None;
+    let mut fresh = false;
+    let mut halt_after: Option<usize> = None;
+    let mut worker_shard: Option<usize> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = |flag: &str| {
+            args.next()
+                .unwrap_or_else(|| panic!("{flag} requires a value"))
+        };
+        match flag.as_str() {
+            "--dir" => dir = Some(value("--dir")),
+            "--scenarios" => {
+                scenarios = value("--scenarios")
+                    .parse()
+                    .expect("--scenarios takes a number");
+            }
+            "--seed" => seed = value("--seed").parse().expect("--seed takes a number"),
+            "--shards" => {
+                shards = value("--shards").parse().expect("--shards takes a number");
+            }
+            "--workers" => {
+                workers = value("--workers")
+                    .parse()
+                    .expect("--workers takes a number");
+            }
+            "--buffer-depths" => buffer_depths = true,
+            "--report" => report_path = Some(value("--report")),
+            "--fresh" => fresh = true,
+            "--halt-after-shards" => {
+                halt_after = Some(
+                    value("--halt-after-shards")
+                        .parse()
+                        .expect("--halt-after-shards takes a number"),
+                );
+            }
+            "--worker-shard" => {
+                worker_shard = Some(
+                    value("--worker-shard")
+                        .parse()
+                        .expect("--worker-shard takes a number"),
+                );
+            }
+            unknown => {
+                eprintln!(
+                    "unknown argument {unknown}; usage: \
+                     expt-campaign --dir DIR [--scenarios N] [--seed S] \
+                     [--shards K] [--workers W] [--buffer-depths] \
+                     [--report PATH] [--fresh] [--halt-after-shards N]"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+    let Some(dir) = dir else {
+        eprintln!("expt-campaign requires --dir DIR (the campaign checkpoint directory)");
+        std::process::exit(2);
+    };
+
+    let campaign = if buffer_depths {
+        Campaign::buffer_sweep(seed, scenarios)
+    } else {
+        Campaign::new(seed, scenarios)
+    };
+    let fleet = Fleet::new(campaign, shards, &dir);
+
+    // Worker mode: run exactly one shard, commit its checkpoint, exit.
+    // Spawned by the orchestrator below with the same campaign flags.
+    if let Some(index) = worker_shard {
+        if let Err(error) = fleet.run_shard(index) {
+            eprintln!("shard {index} worker failed: {error}");
+            std::process::exit(1);
+        }
+        return;
+    }
+
+    if let Err(error) = fleet.prepare_dir(fresh) {
+        eprintln!("cannot use campaign directory {dir}: {error}");
+        std::process::exit(1);
+    }
+
+    // Orchestrator: re-invoke this binary as one worker process per
+    // incomplete shard, at most `workers` at a time.  Workers inherit
+    // stderr (diagnostics) but not stdout (kept snapshot-clean).
+    let exe = std::env::current_exe().expect("cannot locate own executable");
+    let start = Instant::now();
+    let spawn = |range: &wnoc_conformance::ShardRange| {
+        let mut command = Command::new(&exe);
+        command
+            .arg("--dir")
+            .arg(&dir)
+            .arg("--scenarios")
+            .arg(scenarios.to_string())
+            .arg("--seed")
+            .arg(seed.to_string())
+            .arg("--shards")
+            .arg(shards.to_string())
+            .arg("--worker-shard")
+            .arg(range.index.to_string())
+            .stdout(Stdio::null());
+        if buffer_depths {
+            command.arg("--buffer-depths");
+        }
+        command.spawn()
+    };
+    let summary = match fleet.run_with(workers, halt_after, spawn) {
+        Ok(summary) => summary,
+        Err(error) => {
+            eprintln!("campaign fleet aborted: {error}");
+            std::process::exit(1);
+        }
+    };
+    eprintln!(
+        "fleet ran {} shard(s), reused {} checkpointed shard(s), took {:.2?} \
+         on {workers} worker(s)",
+        summary.ran.len(),
+        summary.reused.len(),
+        start.elapsed()
+    );
+
+    print!("{}", fleet.render_status(&summary));
+    if summary.halted {
+        eprintln!("campaign halted after {} shard(s); re-run to resume", {
+            summary.ran.len()
+        });
+        std::process::exit(3);
+    }
+
+    let report = match fleet.merge() {
+        Ok(report) => report,
+        Err(error) => {
+            eprintln!("campaign merge failed: {error}");
+            std::process::exit(1);
+        }
+    };
+
+    if let Some(path) = report_path {
+        std::fs::write(&path, report.render_json())
+            .unwrap_or_else(|e| panic!("cannot write report {path}: {e}"));
+        eprintln!("machine-readable report written to {path}");
+    }
+
+    print!("{}", report.render());
+    if !report.passed() {
+        std::process::exit(1);
+    }
+}

@@ -170,6 +170,38 @@ fn golden_expt_conformance_buffer_depths() {
     );
 }
 
+/// The sharded fleet runner on the same 25-scenario campaign: pins the
+/// deterministic shard table *and* the merged report, which must stay
+/// byte-for-byte the `expt-conformance` report.  The campaign directory is
+/// volatile (a temp dir) but the snapshot is not: stdout contains no paths,
+/// and `--fresh` pins every attempts counter at 1.  Slow in debug, covered
+/// in release by CI.
+#[test]
+#[cfg_attr(debug_assertions, ignore = "slow in debug; run in release")]
+fn golden_expt_campaign() {
+    let dir = std::env::temp_dir().join(format!("wnoc-golden-campaign-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let dir_arg = dir.to_str().expect("utf-8 temp dir").to_owned();
+    check_golden(
+        "expt-campaign",
+        env!("CARGO_BIN_EXE_expt-campaign"),
+        &[
+            "--dir",
+            &dir_arg,
+            "--fresh",
+            "--scenarios",
+            "25",
+            "--seed",
+            "7",
+            "--shards",
+            "4",
+            "--workers",
+            "2",
+        ],
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 /// Depth-1 8×8 closed loops are slow in debug; covered in release by CI.
 #[test]
 #[cfg_attr(debug_assertions, ignore = "slow in debug; run in release")]

@@ -34,6 +34,25 @@ pub enum CampaignDimension {
     BufferDepth,
 }
 
+impl CampaignDimension {
+    /// Stable one-word tag used by checkpoint files and command-line flags.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            CampaignDimension::Core => "core",
+            CampaignDimension::BufferDepth => "buffer-depth",
+        }
+    }
+
+    /// Inverse of [`CampaignDimension::tag`].
+    pub fn from_tag(tag: &str) -> Option<Self> {
+        match tag {
+            "core" => Some(CampaignDimension::Core),
+            "buffer-depth" => Some(CampaignDimension::BufferDepth),
+            _ => None,
+        }
+    }
+}
+
 /// A seeded conformance campaign.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Campaign {
@@ -65,13 +84,21 @@ impl Campaign {
         }
     }
 
+    /// Materialises scenario `index` of the campaign.  Sampling is a pure
+    /// function of `(dimension, seed, index)`, which is what makes the fleet
+    /// runner's shards independent: any process can materialise any index
+    /// range and produce the same outcomes the single-process run would.
+    pub fn scenario(&self, index: usize) -> Scenario {
+        match self.dimension {
+            CampaignDimension::Core => Scenario::sample(index, self.seed),
+            CampaignDimension::BufferDepth => Scenario::sample_buffered(index, self.seed),
+        }
+    }
+
     /// Materialises every scenario of the campaign.
     pub fn generate(&self) -> Vec<Scenario> {
         (0..self.scenarios)
-            .map(|index| match self.dimension {
-                CampaignDimension::Core => Scenario::sample(index, self.seed),
-                CampaignDimension::BufferDepth => Scenario::sample_buffered(index, self.seed),
-            })
+            .map(|index| self.scenario(index))
             .collect()
     }
 
@@ -157,6 +184,38 @@ pub struct ConformanceReport {
 }
 
 impl ConformanceReport {
+    /// An empty report for `seed` — the identity element of
+    /// [`ConformanceReport::merge`].
+    pub fn empty(seed: u64) -> Self {
+        Self {
+            seed,
+            outcomes: Vec::new(),
+        }
+    }
+
+    /// Folds another report into this one, lifting the [`LatencyStats::merge`]
+    /// algebra to whole reports: outcomes are concatenated and re-sorted by
+    /// scenario index, so partial reports over disjoint index ranges merge
+    /// into *exactly* the report a single-process run would have produced —
+    /// byte-identical renderings — in any merge order (scenario indices are
+    /// unique per campaign, making the sort total) and for any shard
+    /// partition.  Every aggregate ([`ConformanceReport::observed`],
+    /// tightness, per-design summaries) is derived from the outcome list, so
+    /// no other state needs reconciling.
+    ///
+    /// The merge is total: it never fails.  Merging reports of *different*
+    /// campaigns is outside the contract (the result keeps `self.seed` and
+    /// whatever outcomes both sides carried) — the fleet runner's manifest
+    /// config hashes exist to prevent exactly that, up front.
+    pub fn merge(&mut self, other: ConformanceReport) {
+        if self.outcomes.is_empty() {
+            self.outcomes = other.outcomes;
+        } else {
+            self.outcomes.extend(other.outcomes);
+        }
+        self.outcomes.sort_by_key(|outcome| outcome.scenario.index);
+    }
+
     /// Number of scenarios.
     pub fn scenario_count(&self) -> usize {
         self.outcomes.len()

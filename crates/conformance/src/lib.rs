@@ -19,7 +19,12 @@
 //!   (`std::thread::scope` workers pulling from one shared atomic cursor);
 //! * [`ConformanceReport`] — the serializable verdict: per-scenario dominance
 //!   and ordering violations plus per-design tightness ratios, byte-identical
-//!   regardless of the worker count.
+//!   regardless of the worker count;
+//! * [`Fleet`] — the sharded campaign runner: contiguous scenario ranges run
+//!   as independent worker *processes*, each committing a checkpointed
+//!   partial report that merges byte-stably (`ConformanceReport::merge`)
+//!   into the single-process report, with kill/resume from the last
+//!   completed shard (see [`fleet`]).
 //!
 //! # Example
 //!
@@ -37,9 +42,14 @@
 #![warn(missing_debug_implementations)]
 
 pub mod campaign;
+pub mod fleet;
 pub mod scenario;
 
 pub use campaign::{Campaign, CampaignDimension, ConformanceReport, DesignSummary};
+pub use fleet::{
+    partition, Fleet, FleetRunSummary, PartialReport, ShardManifest, ShardRange, ShardState,
+    ShardStatus,
+};
 pub use scenario::{
     BufferChoice, DesignChoice, Scenario, ScenarioFamily, ScenarioOutcome, TightnessSummary,
     Violation,

@@ -1,0 +1,73 @@
+//! Property-based fleet conformance: for random (scenario count, shard
+//! count, merge order) triples, the sharded pipeline — partition, per-shard
+//! partial reports, a full JSON round trip through the checkpoint codec,
+//! and an order-shuffled merge — produces a report *byte-identical* to the
+//! single-process [`Campaign::run`] output.
+//!
+//! The proptest shim samples from a fixed-seed deterministic stream, so any
+//! failure reproduces identically on every run.
+
+use proptest::prelude::*;
+use rand::{RngCore, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+use std::path::Path;
+
+use wnoc_conformance::{partition, Campaign, ConformanceReport, PartialReport};
+
+/// Fisher–Yates shuffle driven by a seeded ChaCha stream (the vendored
+/// `rand` shim has no `SliceRandom`).
+fn shuffle<T>(items: &mut [T], seed: u64) {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    for i in (1..items.len()).rev() {
+        let j = (rng.next_u64() % (i as u64 + 1)) as usize;
+        items.swap(i, j);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Sharding is invisible: any shard count, any merge order, with every
+    /// partial pushed through the render/parse codec, reproduces the
+    /// single-process report byte for byte.
+    #[test]
+    fn sharded_merge_is_byte_identical_to_single_process(
+        scenarios in 0usize..=5,
+        shards in 1usize..=8,
+        seed in 1u64..=500,
+        shuffle_seed in any::<u64>(),
+        buffer_depths in any::<bool>(),
+    ) {
+        let campaign = if buffer_depths {
+            Campaign::buffer_sweep(seed, scenarios)
+        } else {
+            Campaign::new(seed, scenarios)
+        };
+        let reference = campaign.run(2).unwrap();
+
+        // Compute every shard's partial and round-trip it through the
+        // checkpoint codec, exactly as the on-disk resume path does.
+        let mut partials: Vec<PartialReport> = partition(scenarios, shards)
+            .into_iter()
+            .map(|range| {
+                let partial = PartialReport::compute(&campaign, range).unwrap();
+                let json = partial.render_json();
+                let back = PartialReport::parse_json(&json, Path::new("inline")).unwrap();
+                assert_eq!(back, partial, "codec round trip");
+                back
+            })
+            .collect();
+
+        // Merge in a random completion order: the fold must not care.
+        shuffle(&mut partials, shuffle_seed);
+        let mut merged = ConformanceReport::empty(campaign.seed);
+        for partial in partials {
+            merged.merge(partial.into_report());
+        }
+
+        prop_assert_eq!(&merged, &reference);
+        prop_assert_eq!(merged.render_json(), reference.render_json());
+        prop_assert_eq!(merged.render(), reference.render());
+    }
+}

@@ -68,6 +68,19 @@ pub enum Error {
         /// Routers still holding at least one flit when the run gave up.
         stalled_routers: usize,
     },
+    /// A campaign checkpoint artifact failed validation: unreadable or
+    /// unparseable, a digest mismatch against its manifest, or written by a
+    /// campaign with a different configuration.  Fleet runners treat a
+    /// corrupt *shard* checkpoint as "re-run this shard", but a corrupt
+    /// *campaign* manifest (a stale directory from a different campaign) is
+    /// surfaced as this error and must never be merged silently.
+    CorruptCheckpoint {
+        /// Path of the offending artifact (or `"inline"` for in-memory
+        /// parses).
+        path: String,
+        /// Human-readable description of what failed to validate.
+        reason: String,
+    },
     /// A failure wrapped with the context it occurred in (e.g. the label of
     /// the conformance scenario that was running), so batch runners can
     /// propagate *where* an error happened without a logging side channel.
@@ -122,6 +135,9 @@ impl fmt::Display for Error {
                  {stalled_routers} routers after a drain budget of {drain_limit} cycles \
                  (possible deadlock)"
             ),
+            Error::CorruptCheckpoint { path, reason } => {
+                write!(f, "corrupt checkpoint {path}: {reason}")
+            }
             Error::WithContext { context, source } => write!(f, "{context}: {source}"),
         }
     }
@@ -170,6 +186,10 @@ mod tests {
                 cycle: 1234,
                 buffered_flits: 17,
                 stalled_routers: 3,
+            },
+            Error::CorruptCheckpoint {
+                path: "campaign/shard-003.manifest.json".to_string(),
+                reason: "config hash mismatch".to_string(),
             },
             Error::EmptyMessage.with_context("scenario #4 3x3 all-to-one"),
         ];

@@ -39,6 +39,31 @@ impl LatencyStats {
         }
     }
 
+    /// Reconstructs a summary from its four raw fields, validating the merge
+    /// algebra's invariants — the safe deserialization entry point for
+    /// checkpointed aggregates (the conformance fleet runner's partial
+    /// reports round-trip stats through files and must reject hand-edited or
+    /// truncated values rather than merge them).
+    ///
+    /// Returns `None` unless the fields describe a summary that
+    /// [`LatencyStats::record`]/[`LatencyStats::merge`] could actually have
+    /// produced: an empty summary must equal [`LatencyStats::new`] exactly,
+    /// and a non-empty one must satisfy `min <= max <= sum`.
+    pub fn from_parts(count: u64, sum: u64, min: u64, max: u64) -> Option<Self> {
+        let stats = Self {
+            count,
+            sum,
+            min,
+            max,
+        };
+        let valid = if count == 0 {
+            stats == Self::new()
+        } else {
+            min <= max && max <= sum
+        };
+        valid.then_some(stats)
+    }
+
     /// Records one latency sample.
     pub fn record(&mut self, latency: u64) {
         self.count += 1;
@@ -237,6 +262,33 @@ mod tests {
             merged.merge(a);
             assert_eq!(&merged, a);
         }
+    }
+
+    #[test]
+    fn from_parts_accepts_exactly_the_reachable_summaries() {
+        // Round trip: anything record/merge built is accepted verbatim.
+        let mut recorded = LatencyStats::new();
+        recorded.record(5);
+        recorded.record(9);
+        assert_eq!(
+            LatencyStats::from_parts(recorded.count, recorded.sum, recorded.min, recorded.max),
+            Some(recorded)
+        );
+        let empty = LatencyStats::new();
+        assert_eq!(
+            LatencyStats::from_parts(empty.count, empty.sum, empty.min, empty.max),
+            Some(empty)
+        );
+        // All-zero samples are a legal distribution.
+        assert!(LatencyStats::from_parts(3, 0, 0, 0).is_some());
+
+        // Rejected: an "empty" summary whose min/max were tampered with
+        // would corrupt every later merge (min 0 would win over any sample).
+        assert!(LatencyStats::from_parts(0, 0, 0, 0).is_none());
+        assert!(LatencyStats::from_parts(0, 1, u64::MAX, 0).is_none());
+        // Rejected: inverted extremes or a sum below the max.
+        assert!(LatencyStats::from_parts(2, 14, 9, 5).is_none());
+        assert!(LatencyStats::from_parts(2, 3, 1, 9).is_none());
     }
 
     #[test]
