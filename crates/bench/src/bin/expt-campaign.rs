@@ -4,8 +4,12 @@
 //! report byte-identical to the single-process `expt-conformance` run.
 //!
 //! Usage: `expt-campaign --dir DIR [--scenarios N] [--seed S] [--shards K]
-//!                       [--workers W] [--buffer-depths] [--report PATH]
-//!                       [--fresh] [--halt-after-shards N]`
+//!                       [--workers W] [--buffer-depths | --vc-sweep]
+//!                       [--report PATH] [--fresh] [--halt-after-shards N]`
+//!
+//! Exit codes: 0 on a clean pass, 1 on violations or campaign errors, 2 on
+//! usage errors, 3 when `--halt-after-shards` stopped the invocation early
+//! (the directory is resumable — re-invoke with the same flags to continue).
 //!
 //! Defaults: 200 scenarios, seed 7, one shard and one worker per available
 //! core.  `DIR` is the campaign directory holding per-shard checkpoints
@@ -45,6 +49,7 @@ fn main() {
     let mut shards: usize = default_parallelism;
     let mut workers: usize = default_parallelism;
     let mut buffer_depths = false;
+    let mut vc_sweep = false;
     let mut report_path: Option<String> = None;
     let mut fresh = false;
     let mut halt_after: Option<usize> = None;
@@ -72,6 +77,7 @@ fn main() {
                     .expect("--workers takes a number");
             }
             "--buffer-depths" => buffer_depths = true,
+            "--vc-sweep" => vc_sweep = true,
             "--report" => report_path = Some(value("--report")),
             "--fresh" => fresh = true,
             "--halt-after-shards" => {
@@ -92,8 +98,11 @@ fn main() {
                 eprintln!(
                     "unknown argument {unknown}; usage: \
                      expt-campaign --dir DIR [--scenarios N] [--seed S] \
-                     [--shards K] [--workers W] [--buffer-depths] \
-                     [--report PATH] [--fresh] [--halt-after-shards N]"
+                     [--shards K] [--workers W] [--buffer-depths | --vc-sweep] \
+                     [--report PATH] [--fresh] [--halt-after-shards N]\n\
+                     exit codes: 0 pass, 1 violations or campaign error, \
+                     2 usage error, 3 halted early by --halt-after-shards \
+                     (resumable — re-invoke with the same flags)"
                 );
                 std::process::exit(2);
             }
@@ -103,9 +112,15 @@ fn main() {
         eprintln!("expt-campaign requires --dir DIR (the campaign checkpoint directory)");
         std::process::exit(2);
     };
+    if buffer_depths && vc_sweep {
+        eprintln!("--buffer-depths and --vc-sweep are mutually exclusive");
+        std::process::exit(2);
+    }
 
     let campaign = if buffer_depths {
         Campaign::buffer_sweep(seed, scenarios)
+    } else if vc_sweep {
+        Campaign::vc_sweep(seed, scenarios)
     } else {
         Campaign::new(seed, scenarios)
     };
@@ -147,6 +162,9 @@ fn main() {
             .stdout(Stdio::null());
         if buffer_depths {
             command.arg("--buffer-depths");
+        }
+        if vc_sweep {
+            command.arg("--vc-sweep");
         }
         command.spawn()
     };

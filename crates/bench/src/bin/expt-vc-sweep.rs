@@ -1,0 +1,20 @@
+//! Bound-vs-VC sweep (`V1`): virtual channels as a first-class design axis.
+//!
+//! Sweeps per-port VC counts {1, 2, 3, 4} crossed with both static flow → VC
+//! assignment rules over the all-to-one hotspot platform on the 4×4 and 8×8
+//! meshes under the regular design, printing observed closed-loop worst
+//! latencies next to the chained-blocking and priority-preemptive analytic
+//! bounds (see `wnoc_bench::vc_sweep`).  No arguments; the output is fully
+//! deterministic and golden-snapshot-tested.
+
+use wnoc_bench::vc_sweep::VcSweepTable;
+
+fn main() {
+    match VcSweepTable::generate() {
+        Ok(table) => print!("{}", table.render()),
+        Err(error) => {
+            eprintln!("vc sweep failed: {error}");
+            std::process::exit(1);
+        }
+    }
+}

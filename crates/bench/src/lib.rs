@@ -14,6 +14,7 @@
 //! | E7 | Section III slot model (3·L+S vs 3·m+m) | [`slot`] | `expt-slot-model` |
 //! | A1 | Ablation: WaP alone, WaW alone, both | [`ablation`] | `expt-ablation` |
 //! | B1 | Buffer-depth sweep (bound vs depth, not in paper) | [`buffer_sweep`] | `expt-buffer-sweep` |
+//! | V1 | Virtual-channel sweep (bound vs VC count, not in paper) | [`vc_sweep`] | `expt-vc-sweep` |
 //! | C1 | Conformance campaign (sim vs analytic bounds) | `wnoc-conformance` | `expt-conformance` |
 //!
 //! Criterion benchmarks under `benches/` measure the cost of regenerating each
@@ -38,6 +39,7 @@ pub mod slot;
 pub mod table1;
 pub mod table2;
 pub mod table3;
+pub mod vc_sweep;
 
 pub use ablation::Ablation;
 pub use avg_perf::{AveragePerformance, AvgPerfParams};
@@ -47,3 +49,4 @@ pub use slot::SlotModel;
 pub use table1::Table1;
 pub use table2::Table2;
 pub use table3::Table3;
+pub use vc_sweep::VcSweepTable;

@@ -149,6 +149,27 @@ fn golden_expt_conformance() {
     );
 }
 
+/// The same campaign over the virtual-channel dimension: pins both the VC
+/// sampler and the priority-preemptive verdicts.  Slow in debug, covered in
+/// release by CI.
+#[test]
+#[cfg_attr(debug_assertions, ignore = "slow in debug; run in release")]
+fn golden_expt_conformance_vc_sweep() {
+    check_golden(
+        "expt-conformance-vc-sweep",
+        env!("CARGO_BIN_EXE_expt-conformance"),
+        &[
+            "--scenarios",
+            "25",
+            "--seed",
+            "7",
+            "--threads",
+            "2",
+            "--vc-sweep",
+        ],
+    );
+}
+
 /// The same campaign over the buffer-depth dimension: pins both the depth
 /// sampler and the buffer-aware verdicts.  Slow in debug, covered in release
 /// by CI.
@@ -211,4 +232,11 @@ fn golden_expt_buffer_sweep() {
         env!("CARGO_BIN_EXE_expt-buffer-sweep"),
         &[],
     );
+}
+
+/// 8×8 multi-VC closed loops are slow in debug; covered in release by CI.
+#[test]
+#[cfg_attr(debug_assertions, ignore = "slow in debug; run in release")]
+fn golden_expt_vc_sweep() {
+    check_golden("expt-vc-sweep", env!("CARGO_BIN_EXE_expt-vc-sweep"), &[]);
 }

@@ -32,6 +32,10 @@ pub enum CampaignDimension {
     /// {1, 2, 4, 8, ∞-equivalent} plus seeded heterogeneous per-port
     /// assignments ([`Scenario::sample_buffered`]).
     BufferDepth,
+    /// The legacy space *times* the virtual-channel dimension: VC counts
+    /// 1–4 crossed with both static flow → VC assignment rules
+    /// ([`Scenario::sample_vc`]).
+    VcSweep,
 }
 
 impl CampaignDimension {
@@ -40,6 +44,7 @@ impl CampaignDimension {
         match self {
             CampaignDimension::Core => "core",
             CampaignDimension::BufferDepth => "buffer-depth",
+            CampaignDimension::VcSweep => "vc",
         }
     }
 
@@ -48,6 +53,7 @@ impl CampaignDimension {
         match tag {
             "core" => Some(CampaignDimension::Core),
             "buffer-depth" => Some(CampaignDimension::BufferDepth),
+            "vc" => Some(CampaignDimension::VcSweep),
             _ => None,
         }
     }
@@ -84,6 +90,15 @@ impl Campaign {
         }
     }
 
+    /// Creates a campaign sweeping the virtual-channel dimension as well.
+    pub fn vc_sweep(seed: u64, scenarios: usize) -> Self {
+        Self {
+            seed,
+            scenarios,
+            dimension: CampaignDimension::VcSweep,
+        }
+    }
+
     /// Materialises scenario `index` of the campaign.  Sampling is a pure
     /// function of `(dimension, seed, index)`, which is what makes the fleet
     /// runner's shards independent: any process can materialise any index
@@ -92,6 +107,7 @@ impl Campaign {
         match self.dimension {
             CampaignDimension::Core => Scenario::sample(index, self.seed),
             CampaignDimension::BufferDepth => Scenario::sample_buffered(index, self.seed),
+            CampaignDimension::VcSweep => Scenario::sample_vc(index, self.seed),
         }
     }
 
@@ -522,6 +538,15 @@ mod tests {
         let oversubscribed = campaign.run(64).unwrap();
         assert_eq!(single, parallel);
         assert_eq!(single, oversubscribed);
+    }
+
+    #[test]
+    fn small_vc_campaign_passes() {
+        let report = Campaign::vc_sweep(11, 8).run(2).unwrap();
+        assert_eq!(report.scenario_count(), 8);
+        assert!(report.passed(), "{}", report.render());
+        assert_eq!(report.dominance_violations(), 0);
+        assert_eq!(report.ordering_violations(), 0);
     }
 
     #[test]

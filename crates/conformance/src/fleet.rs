@@ -44,14 +44,16 @@ use wnoc_core::{Coord, Error, FlowId, NodeId, Result};
 use wnoc_sim::LatencyStats;
 
 use crate::campaign::{Campaign, CampaignDimension, ConformanceReport};
+use wnoc_core::vc::VcAssignment;
+
 use crate::scenario::{
     BufferChoice, DesignChoice, Scenario, ScenarioFamily, ScenarioOutcome, TightnessSummary,
-    Violation,
+    VcChoice, Violation,
 };
 
 /// Format tag embedded in every checkpoint artifact; bump on any codec
 /// change so stale checkpoints are rejected instead of misparsed.
-pub const FORMAT_VERSION: &str = "wnoc-fleet/v1";
+pub const FORMAT_VERSION: &str = "wnoc-fleet/v2";
 
 /// Test-only fault-injection hook: when this environment variable is set to
 /// a millisecond count, [`Fleet::run_shard`] stalls for that long after
@@ -618,10 +620,44 @@ fn parse_buffers(value: &Json, path: &Path) -> Result<BufferChoice> {
     }
 }
 
+fn render_vcs(vcs: &VcChoice) -> String {
+    match vcs {
+        VcChoice::Default => "{\"kind\":\"default\"}".to_string(),
+        VcChoice::Count { count, assignment } => {
+            format!(
+                "{{\"kind\":\"count\",\"count\":{count},\"assignment\":\"{}\"}}",
+                assignment.tag()
+            )
+        }
+    }
+}
+
+fn parse_vcs(value: &Json, path: &Path) -> Result<VcChoice> {
+    match field_str(value, "kind", path)? {
+        "default" => Ok(VcChoice::Default),
+        "count" => {
+            let count = field_u64(value, "count", path)?;
+            let count = u32::try_from(count).map_err(|_| corrupt(path, "VC count out of range"))?;
+            let assignment = match field_str(value, "assignment", path)? {
+                "idx" => VcAssignment::FlowIndex,
+                "dist" => VcAssignment::Distance,
+                unknown => {
+                    return Err(corrupt(
+                        path,
+                        format!("unknown VC assignment \"{unknown}\""),
+                    ))
+                }
+            };
+            Ok(VcChoice::Count { count, assignment })
+        }
+        unknown => Err(corrupt(path, format!("unknown VC kind \"{unknown}\""))),
+    }
+}
+
 fn render_scenario(scenario: &Scenario) -> String {
     format!(
         "{{\"index\":{},\"seed\":{},\"side\":{},\"family\":{},\"design\":{},\
-         \"message_flits\":{},\"cycles\":{},\"buffers\":{}}}",
+         \"message_flits\":{},\"cycles\":{},\"buffers\":{},\"vcs\":{}}}",
         scenario.index,
         scenario.seed,
         scenario.side,
@@ -629,7 +665,8 @@ fn render_scenario(scenario: &Scenario) -> String {
         render_design(&scenario.design),
         scenario.message_flits,
         scenario.cycles,
-        render_buffers(&scenario.buffers)
+        render_buffers(&scenario.buffers),
+        render_vcs(&scenario.vcs)
     )
 }
 
@@ -646,6 +683,7 @@ fn parse_scenario(value: &Json, path: &Path) -> Result<Scenario> {
             .map_err(|_| corrupt(path, "message_flits out of range"))?,
         cycles: field_u64(value, "cycles", path)?,
         buffers: parse_buffers(field(value, "buffers", path)?, path)?,
+        vcs: parse_vcs(field(value, "vcs", path)?, path)?,
     })
 }
 
@@ -973,6 +1011,21 @@ impl ShardManifest {
 // The fleet
 // ---------------------------------------------------------------------------
 
+/// Internal verdict of [`Fleet::verify_shard`]: which checkpoint artifact is
+/// at fault, so [`Error::CorruptCheckpoint`] blames the actually-corrupt
+/// file (a bad partial must not be reported against its manifest).
+enum ShardFault {
+    /// No manifest: the shard never committed (not a corruption).
+    Missing,
+    /// A checkpoint artifact failed validation.
+    Corrupt {
+        /// The artifact at fault (partial or manifest).
+        path: PathBuf,
+        /// Why it failed, with expected-vs-actual digests where applicable.
+        reason: String,
+    },
+}
+
 /// How a shard's checkpoint looked when scanned.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ShardState {
@@ -1141,39 +1194,81 @@ impl Fleet {
     }
 
     fn shard_state(&self, range: ShardRange) -> ShardState {
+        match self.verify_shard(range) {
+            Ok(()) => ShardState::Complete,
+            Err(ShardFault::Missing) => ShardState::Missing,
+            Err(ShardFault::Corrupt { path, reason }) => {
+                ShardState::Corrupt(format!("{}: {reason}", path.display()))
+            }
+        }
+    }
+
+    /// Validates shard `range`'s checkpoint pair, blaming the artifact that
+    /// actually failed: manifest faults (unreadable, unparseable, wrong
+    /// config/range/count) name the manifest file; partial faults
+    /// (unreadable, digest mismatch against the manifest's recorded FNV-1a)
+    /// name the partial file.  Digest faults carry the expected and actual
+    /// digests so a truncated or hand-edited partial is diagnosable from the
+    /// error alone.
+    fn verify_shard(&self, range: ShardRange) -> std::result::Result<(), ShardFault> {
         let manifest_path = self.manifest_path(range.index);
+        let blame_manifest = |reason: String| ShardFault::Corrupt {
+            path: manifest_path.clone(),
+            reason,
+        };
         let text = match fs::read_to_string(&manifest_path) {
             Ok(text) => text,
             Err(error) if error.kind() == std::io::ErrorKind::NotFound => {
-                return ShardState::Missing;
+                return Err(ShardFault::Missing);
             }
-            Err(error) => return ShardState::Corrupt(format!("manifest unreadable: {error}")),
+            Err(error) => return Err(blame_manifest(format!("manifest unreadable: {error}"))),
         };
-        let manifest = match ShardManifest::parse_json(&text, &manifest_path) {
-            Ok(manifest) => manifest,
-            Err(error) => return ShardState::Corrupt(error.to_string()),
-        };
+        let manifest = ShardManifest::parse_json(&text, &manifest_path).map_err(|error| {
+            blame_manifest(match error {
+                Error::CorruptCheckpoint { reason, .. } => reason,
+                other => other.to_string(),
+            })
+        })?;
         if manifest.config_hash != self.config_hash() {
-            return ShardState::Corrupt("manifest config hash mismatch".to_string());
+            return Err(blame_manifest(format!(
+                "manifest config hash mismatch: campaign is {:#018x}, manifest records {:#018x}",
+                self.config_hash(),
+                manifest.config_hash
+            )));
         }
         if manifest.shard != range {
-            return ShardState::Corrupt(format!(
+            return Err(blame_manifest(format!(
                 "manifest range [{}..{}) does not match planned {range}",
                 manifest.shard.start, manifest.shard.end
-            ));
+            )));
         }
         if manifest.outcomes != range.len() {
-            return ShardState::Corrupt("manifest outcome count mismatch".to_string());
+            return Err(blame_manifest(format!(
+                "manifest outcome count mismatch: shard holds {} scenarios, manifest records {}",
+                range.len(),
+                manifest.outcomes
+            )));
         }
         let partial_path = self.partial_path(range.index);
+        let blame_partial = |reason: String| ShardFault::Corrupt {
+            path: partial_path.clone(),
+            reason,
+        };
         let bytes = match fs::read(&partial_path) {
             Ok(bytes) => bytes,
-            Err(error) => return ShardState::Corrupt(format!("partial unreadable: {error}")),
+            Err(error) => {
+                return Err(blame_partial(format!("partial report unreadable: {error}")));
+            }
         };
-        if fnv1a(&bytes) != manifest.partial_digest {
-            return ShardState::Corrupt("partial report digest mismatch".to_string());
+        let actual = fnv1a(&bytes);
+        if actual != manifest.partial_digest {
+            return Err(blame_partial(format!(
+                "partial report digest mismatch: manifest expects {:#018x}, file bytes hash \
+                 to {:#018x}",
+                manifest.partial_digest, actual
+            )));
         }
-        ShardState::Complete
+        Ok(())
     }
 
     /// Run attempts recorded for shard `index` (0 when never attempted).
@@ -1346,16 +1441,16 @@ impl Fleet {
     pub fn merge(&self) -> Result<ConformanceReport> {
         let mut report = ConformanceReport::empty(self.campaign.seed);
         for range in self.plan() {
-            match self.shard_state(range) {
-                ShardState::Complete => {}
-                ShardState::Missing => {
+            match self.verify_shard(range) {
+                Ok(()) => {}
+                Err(ShardFault::Missing) => {
                     return Err(corrupt(
                         &self.manifest_path(range.index),
                         format!("{range} has no checkpoint; run the fleet to completion"),
                     ));
                 }
-                ShardState::Corrupt(reason) => {
-                    return Err(corrupt(&self.manifest_path(range.index), reason));
+                Err(ShardFault::Corrupt { path, reason }) => {
+                    return Err(corrupt(&path, reason));
                 }
             }
             let path = self.partial_path(range.index);
@@ -1493,6 +1588,11 @@ mod tests {
             config_hash(&base),
             config_hash(&Campaign::buffer_sweep(7, 200))
         );
+        assert_ne!(config_hash(&base), config_hash(&Campaign::vc_sweep(7, 200)));
+        assert_ne!(
+            config_hash(&Campaign::buffer_sweep(7, 200)),
+            config_hash(&Campaign::vc_sweep(7, 200))
+        );
     }
 
     /// A handcrafted outcome exercising every codec branch: violations,
@@ -1518,6 +1618,10 @@ mod tests {
                 message_flits: 9,
                 cycles: 1_234,
                 buffers: BufferChoice::Heterogeneous { seed: 77 },
+                vcs: VcChoice::Count {
+                    count: 3,
+                    assignment: VcAssignment::Distance,
+                },
             },
             flow_count: 3,
             observed,
@@ -1680,13 +1784,43 @@ mod tests {
         assert_eq!(merged, reference);
         assert_eq!(merged.render_json(), reference.render_json());
 
-        // Truncating a partial flips exactly that shard to corrupt.
+        // Truncating a partial flips exactly that shard to corrupt, and the
+        // fault is blamed on the *partial* file — with the expected (from
+        // the manifest) and actual digests — not on its healthy manifest.
         let partial_path = fleet.partial_path(1);
         let bytes = fs::read(&partial_path).unwrap();
         fs::write(&partial_path, &bytes[..bytes.len() / 2]).unwrap();
         let statuses = fleet.scan();
         assert_eq!(statuses[0].state, ShardState::Complete);
-        assert!(matches!(statuses[1].state, ShardState::Corrupt(_)));
+        let ShardState::Corrupt(reason) = &statuses[1].state else {
+            panic!("truncated partial not flagged corrupt: {:?}", statuses[1]);
+        };
+        assert!(reason.contains("partial.json"), "{reason}");
+        assert!(reason.contains("digest mismatch"), "{reason}");
+        let manifest_text = fs::read_to_string(fleet.manifest_path(1)).unwrap();
+        let recorded = ShardManifest::parse_json(&manifest_text, &fleet.manifest_path(1))
+            .unwrap()
+            .partial_digest;
+        let truncated = fnv1a(&bytes[..bytes.len() / 2]);
+        assert!(reason.contains(&format!("{recorded:#018x}")), "{reason}");
+        assert!(reason.contains(&format!("{truncated:#018x}")), "{reason}");
+        let merge_error = fleet.merge().unwrap_err();
+        let rendered = merge_error.to_string();
+        assert!(
+            rendered.contains("partial.json") && !rendered.contains("manifest.json"),
+            "merge must blame the partial, got: {rendered}"
+        );
+
+        // Tampering with the *manifest* blames the manifest instead.
+        let manifest_path = fleet.manifest_path(0);
+        let original_manifest = fs::read_to_string(&manifest_path).unwrap();
+        fs::write(&manifest_path, original_manifest.replace('{', "")).unwrap();
+        let statuses = fleet.scan();
+        let ShardState::Corrupt(reason) = &statuses[0].state else {
+            panic!("tampered manifest not flagged corrupt: {:?}", statuses[0]);
+        };
+        assert!(reason.contains("manifest.json"), "{reason}");
+        fs::write(&manifest_path, original_manifest).unwrap();
         assert!(fleet.merge().is_err());
 
         // Re-running the shard repairs it; the attempt counter records it.

@@ -52,5 +52,5 @@ pub use fleet::{
 };
 pub use scenario::{
     BufferChoice, DesignChoice, Scenario, ScenarioFamily, ScenarioOutcome, TightnessSummary,
-    Violation,
+    VcChoice, Violation,
 };

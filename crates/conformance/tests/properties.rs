@@ -8,8 +8,27 @@
 
 use proptest::prelude::*;
 
-use wnoc_conformance::{BufferChoice, DesignChoice, Scenario, ScenarioFamily};
+use wnoc_conformance::{BufferChoice, DesignChoice, Scenario, ScenarioFamily, VcChoice};
+use wnoc_core::vc::VcAssignment;
 use wnoc_core::{BufferConfig, Coord, Mesh, NodeId};
+
+fn vc_strategy() -> impl Strategy<Value = VcChoice> {
+    prop_oneof![
+        Just(VcChoice::Default),
+        Just(VcChoice::Count {
+            count: 2,
+            assignment: VcAssignment::FlowIndex
+        }),
+        Just(VcChoice::Count {
+            count: 3,
+            assignment: VcAssignment::Distance
+        }),
+        Just(VcChoice::Count {
+            count: 4,
+            assignment: VcAssignment::FlowIndex
+        }),
+    ]
+}
 
 fn buffer_strategy() -> impl Strategy<Value = BufferChoice> {
     prop_oneof![
@@ -83,12 +102,20 @@ proptest! {
         position_roll in any::<u64>(),
         message_flits in 1u32..=6,
         buffers in buffer_strategy(),
+        vcs in vc_strategy(),
     ) {
         let message_flits = match design {
             // Single slices under WaW + WaP (the per-packet quantity the
             // analysis bounds; see wnoc_core::analysis::oracle).
             DesignChoice::WawWap => 1,
             DesignChoice::Regular { .. } => message_flits,
+        };
+        // Multi-VC platforms replace the weighted arbiter with per-VC
+        // priority, so the WaW analyses no longer model them; mirror the
+        // campaign sampler and keep WaW on the single-queue design.
+        let vcs = match design {
+            DesignChoice::WawWap => VcChoice::Default,
+            DesignChoice::Regular { .. } => vcs,
         };
         let scenario = Scenario {
             index: 0,
@@ -99,6 +126,7 @@ proptest! {
             message_flits,
             cycles: 1_500,
             buffers,
+            vcs,
         };
         let outcome = scenario.run().unwrap();
         prop_assert!(

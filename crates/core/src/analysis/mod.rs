@@ -22,12 +22,18 @@
 //! (Table II) and [`ubd`] computes the upper-bound delays used by the WCET
 //! computation mode (Tables III and the Figure 2 experiments).
 //!
-//! [`oracle`] exposes all four analyses behind one [`oracle::WcttBoundModel`]
+//! [`preemptive`] goes beyond the paper: the priority-preemptive analysis of
+//! Nikolić & Indrusiak over virtual channels, which repairs the two regimes
+//! conformance campaigns proved the chained-blocking bound unsound in
+//! (multi-packet composition and off-calibration buffer depths).
+//!
+//! [`oracle`] exposes all analyses behind one [`oracle::WcttBoundModel`]
 //! trait object so the conformance harness (`wnoc-conformance`) can
 //! cross-validate the cycle-accurate simulator against every bound uniformly.
 
 pub mod buffer_aware;
 pub mod oracle;
+pub mod preemptive;
 pub mod regular;
 pub mod slot;
 pub mod table;
@@ -36,9 +42,11 @@ pub mod weighted;
 
 pub use buffer_aware::BufferAwareWcttModel;
 pub use oracle::{
-    oracle_suite, oracle_suite_with_buffers, primary_oracle, AnalyticOnly, BufferAwareOracle,
-    RegularOracle, SlotOracle, UbdOracle, WcttBoundModel, WeightedFlavor, WeightedOracle,
+    oracle_suite, oracle_suite_with_buffers, oracle_suite_with_vcs, primary_oracle, AnalyticOnly,
+    BufferAwareOracle, RegularOracle, SlotOracle, UbdOracle, WcttBoundModel, WeightedFlavor,
+    WeightedOracle,
 };
+pub use preemptive::PreemptiveOracle;
 pub use regular::RegularWcttModel;
 pub use table::{WcttSummary, WcttTable, WcttTableRow};
 pub use ubd::UpperBoundDelay;

@@ -36,6 +36,7 @@
 //! `message_bound == packet_bound`, remain observable).
 
 use crate::analysis::buffer_aware::BufferAwareWcttModel;
+use crate::analysis::preemptive::PreemptiveOracle;
 use crate::analysis::regular::RegularWcttModel;
 use crate::analysis::slot;
 use crate::analysis::ubd::UbdModel;
@@ -48,6 +49,7 @@ use crate::flow::{FlowId, FlowSet};
 use crate::packetization::PacketizationPolicy;
 use crate::routing::Route;
 use crate::topology::Mesh;
+use crate::vc::VcConfig;
 use crate::weights::WeightTable;
 
 /// A WCTT analysis viewed as a per-flow bound oracle.
@@ -63,6 +65,19 @@ pub trait WcttBoundModel: std::fmt::Debug + Send {
     /// `false` for analytic envelopes like [`SlotOracle`] that only
     /// participate in cross-analysis ordering checks.
     fn dominates_observation(&self) -> bool {
+        true
+    }
+
+    /// `true` if [`WcttBoundModel::message_bound`] is safe for a whole
+    /// `message_flits`-flit message, not just per wire packet.  The
+    /// chained-blocking analyses ([`RegularOracle`], [`UbdOracle`] under
+    /// round robin) compose multi-packet messages as a plain `Σ` per-packet
+    /// sum, which buffer-depth campaigns proved unsound (cross-traffic
+    /// trains queued between the packets push observations up to 15% above
+    /// it on ≥ 9×9 meshes at `L = 8`): they claim only single-packet
+    /// messages, and the priority-preemptive composition carries the
+    /// multi-packet dominance instead.
+    fn dominates_message(&self, _message_flits: u32) -> bool {
         true
     }
 
@@ -109,6 +124,12 @@ impl RegularOracle {
 impl WcttBoundModel for RegularOracle {
     fn name(&self) -> &'static str {
         "regular"
+    }
+
+    fn dominates_message(&self, message_flits: u32) -> bool {
+        // The Σ per-packet composition is unsound for multi-packet messages
+        // (see the trait method docs); single wire packets only.
+        message_flits <= self.max_packet_flits
     }
 
     fn packet_bound(&mut self, id: FlowId, own_flits: u32) -> Option<u64> {
@@ -234,6 +255,10 @@ impl<T: WcttBoundModel> WcttBoundModel for AnalyticOnly<T> {
         false
     }
 
+    fn dominates_message(&self, message_flits: u32) -> bool {
+        self.0.dominates_message(message_flits)
+    }
+
     fn packet_bound(&mut self, id: FlowId, own_flits: u32) -> Option<u64> {
         self.0.packet_bound(id, own_flits)
     }
@@ -312,6 +337,7 @@ pub struct UbdOracle {
     model: UbdModel,
     flows: FlowSet,
     arbitration: ArbitrationPolicy,
+    max_packet_flits: u32,
 }
 
 impl UbdOracle {
@@ -325,6 +351,7 @@ impl UbdOracle {
             model: UbdModel::new(*config, flows)?,
             flows: flows.clone(),
             arbitration: config.arbitration,
+            max_packet_flits: config.packetization.worst_case_contender_flits().max(1),
         })
     }
 }
@@ -338,6 +365,16 @@ impl WcttBoundModel for UbdOracle {
         // Under WaW the UBD composition inherits the paper-flavour weighted
         // bound (ideal rounds, ideal slice pipelining): analytic only.
         self.arbitration == ArbitrationPolicy::RoundRobin
+    }
+
+    fn dominates_message(&self, message_flits: u32) -> bool {
+        // Under round robin the UBD composition inherits the regular Σ
+        // per-packet sum, unsound for multi-packet messages (see
+        // [`RegularOracle::dominates_message`]).
+        match self.arbitration {
+            ArbitrationPolicy::RoundRobin => message_flits <= self.max_packet_flits,
+            ArbitrationPolicy::Waw => true,
+        }
     }
 
     fn packet_bound(&mut self, id: FlowId, own_flits: u32) -> Option<u64> {
@@ -491,8 +528,8 @@ pub fn primary_oracle(flows: &FlowSet, config: &NocConfig) -> Result<Box<dyn Wct
 }
 
 /// Every analysis applicable to `config`, primary first: the primary model,
-/// (under WaW) the paper-flavour weighted reference, the UBD composition and
-/// the slot envelope.
+/// (under WaW) the paper-flavour weighted reference, the UBD composition,
+/// (under round robin) the priority-preemptive repair and the slot envelope.
 ///
 /// # Errors
 ///
@@ -507,34 +544,21 @@ pub fn oracle_suite(flows: &FlowSet, config: &NocConfig) -> Result<Vec<Box<dyn W
         )));
     }
     suite.push(Box::new(UbdOracle::new(flows, config)?));
+    if config.arbitration == ArbitrationPolicy::RoundRobin {
+        suite.push(Box::new(PreemptiveOracle::new(
+            flows,
+            config,
+            &BufferConfig::uniform(config.input_buffer_flits),
+            VcConfig::single(),
+        )));
+    }
     suite.push(Box::new(SlotOracle::new(flows, config)));
     Ok(suite)
 }
 
 /// Every analysis applicable to `config` on a platform whose router buffers
 /// follow `buffers`, primary (dominance/tightness reference) first.
-///
-/// Buffer depth changes which analyses may claim observation safety:
-///
-/// * with the **default** buffers (uniform at
-///   [`NocConfig::input_buffer_flits`]) the suite matches [`oracle_suite`]
-///   exactly — plus, under WaW, the buffer-aware oracle appended as an extra
-///   dominating member (its bounds coincide with `weighted-bp` at the
-///   calibration depth, so verdicts are unchanged);
-/// * with **non-default** buffers under WaW the buffer-aware oracle becomes
-///   the primary, since it is the only depth-aware analysis;
-/// * the round-robin analyses (`regular`, `ubd`) are demoted to analytic
-///   references ([`AnalyticOnly`]) for **any** non-default buffering: their
-///   safety is tied to the 4-flit validation point in *both* directions —
-///   shallower rings add credit round-trip stalls, and deeper rings let
-///   input FIFOs accumulate multi-packet cross-traffic trains the
-///   chained-blocking recursion does not count (buffer-depth campaigns
-///   observe up to 3.2× the bound at depth 64);
-/// * `weighted-bp` keeps its dominance claim for calibration-or-deeper
-///   buffers (under WaP every wire packet is a single slice and the weighted
-///   round argument counts every flow sharing a port, so FIFO depth adds no
-///   unmodelled contention; deeper buffers only reduce the dilation it
-///   models) and is demoted below the calibration depth.
+/// Equivalent to [`oracle_suite_with_vcs`] at the single-VC design point.
 ///
 /// # Errors
 ///
@@ -546,10 +570,59 @@ pub fn oracle_suite_with_buffers(
     mesh: Mesh,
     buffers: &BufferConfig,
 ) -> Result<Vec<Box<dyn WcttBoundModel>>> {
+    oracle_suite_with_vcs(flows, config, mesh, buffers, VcConfig::single())
+}
+
+/// Every analysis applicable to `config` on a platform whose router buffers
+/// follow `buffers` and whose input ports carry `vcs` virtual channels,
+/// primary (dominance/tightness reference) first.
+///
+/// Buffer depth and VC count change which analyses may claim observation
+/// safety:
+///
+/// * with the **default** buffers (uniform at
+///   [`NocConfig::input_buffer_flits`]) and a **single VC** the suite
+///   matches [`oracle_suite`] exactly — plus, under WaW, the buffer-aware
+///   oracle appended as an extra dominating member (its bounds coincide with
+///   `weighted-bp` at the calibration depth, so verdicts are unchanged);
+/// * with **non-default** buffers under WaW the buffer-aware oracle becomes
+///   the primary, since it is the only depth-aware weighted analysis;
+/// * the classic round-robin analyses (`regular`, `ubd`) keep their
+///   dominance claims only at the exact validation point (default buffers,
+///   single VC): their safety is tied to the 4-flit depth in *both*
+///   directions — shallower rings add credit round-trip stalls, and deeper
+///   rings let input FIFOs accumulate multi-packet cross-traffic trains the
+///   chained-blocking recursion does not count (buffer-depth campaigns
+///   observed up to 3.2× the bound at depth 64) — and strict VC priority
+///   breaks the round-robin fairness they assume;
+/// * the **preemptive** oracle ([`PreemptiveOracle`]) dominates round-robin
+///   scenarios at *every* depth and VC count: it envelopes off-calibration
+///   depths explicitly and models cross-VC preemption, which is exactly the
+///   repair of the two regimes the demotions used to paper over;
+/// * `weighted-bp` keeps its dominance claim for calibration-or-deeper
+///   buffers (under WaP every wire packet is a single slice and the weighted
+///   round argument counts every flow sharing a port, so FIFO depth adds no
+///   unmodelled contention; deeper buffers only reduce the dilation it
+///   models) and is demoted below the calibration depth.  The weighted
+///   analyses model the single-VC WaW router only, so a multi-VC platform
+///   demotes them all (the conformance sampler never pairs WaW with VCs).
+///
+/// # Errors
+///
+/// Returns an error if the configuration is invalid or `buffers` does not
+/// cover `mesh`.
+pub fn oracle_suite_with_vcs(
+    flows: &FlowSet,
+    config: &NocConfig,
+    mesh: Mesh,
+    buffers: &BufferConfig,
+    vcs: VcConfig,
+) -> Result<Vec<Box<dyn WcttBoundModel>>> {
     config.validate()?;
     buffers.validate(&mesh)?;
     let default_buffers = buffers.is_uniform_depth(config.input_buffer_flits);
     let depth_validated = buffers.min_depth() >= config.input_buffer_flits;
+    let single_vc = vcs.is_single();
     fn gate<T: WcttBoundModel + 'static>(oracle: T, keep: bool) -> Box<dyn WcttBoundModel> {
         if keep {
             Box::new(oracle)
@@ -559,14 +632,16 @@ pub fn oracle_suite_with_buffers(
     }
     match config.arbitration {
         ArbitrationPolicy::RoundRobin => {
+            let classic = default_buffers && single_vc;
             let regular = RegularOracle::new(
                 flows,
                 config,
                 config.packetization.worst_case_contender_flits(),
             );
             Ok(vec![
-                gate(regular, default_buffers),
-                gate(UbdOracle::new(flows, config)?, default_buffers),
+                gate(regular, classic),
+                gate(UbdOracle::new(flows, config)?, classic),
+                Box::new(PreemptiveOracle::new(flows, config, buffers, vcs)),
                 Box::new(SlotOracle::new(flows, config)),
             ])
         }
@@ -577,14 +652,14 @@ pub fn oracle_suite_with_buffers(
             let paper = WeightedOracle::with_flavor(flows, config, WeightedFlavor::Paper);
             let mut suite: Vec<Box<dyn WcttBoundModel>> = if default_buffers {
                 vec![
-                    Box::new(backpressured),
+                    gate(backpressured, single_vc),
                     Box::new(paper),
-                    Box::new(buffer_aware),
+                    gate(buffer_aware, single_vc),
                 ]
             } else {
                 vec![
-                    Box::new(buffer_aware),
-                    gate(backpressured, depth_validated),
+                    gate(buffer_aware, single_vc),
+                    gate(backpressured, depth_validated && single_vc),
                     Box::new(paper),
                 ]
             };
@@ -612,9 +687,9 @@ mod tests {
         let (flows, config) = setup(4, NocConfig::regular(4));
         let suite = oracle_suite(&flows, &config).unwrap();
         let names: Vec<&str> = suite.iter().map(|o| o.name()).collect();
-        assert_eq!(names, ["regular", "ubd", "slot"]);
+        assert_eq!(names, ["regular", "ubd", "preemptive", "slot"]);
         let flags: Vec<bool> = suite.iter().map(|o| o.dominates_observation()).collect();
-        assert_eq!(flags, [true, true, false]);
+        assert_eq!(flags, [true, true, true, false]);
 
         let (flows, config) = setup(4, NocConfig::waw_wap());
         let suite = oracle_suite(&flows, &config).unwrap();
@@ -743,9 +818,9 @@ mod tests {
         let suite =
             oracle_suite_with_buffers(&flows, &config, mesh, &BufferConfig::uniform(4)).unwrap();
         let names: Vec<&str> = suite.iter().map(|o| o.name()).collect();
-        assert_eq!(names, ["regular", "ubd", "slot"]);
+        assert_eq!(names, ["regular", "ubd", "preemptive", "slot"]);
         let flags: Vec<bool> = suite.iter().map(|o| o.dominates_observation()).collect();
-        assert_eq!(flags, [true, true, false]);
+        assert_eq!(flags, [true, true, true, false]);
 
         let config = NocConfig::waw_wap();
         let suite =
@@ -779,15 +854,85 @@ mod tests {
         let suite =
             oracle_suite_with_buffers(&flows, &config, mesh, &BufferConfig::uniform(1)).unwrap();
         let flags: Vec<bool> = suite.iter().map(|o| o.dominates_observation()).collect();
-        assert_eq!(flags, [false, false, false]);
+        assert_eq!(flags, [false, false, true, false]);
 
         // Round-robin chained blocking is tied to its validation depth in
         // *both* directions: deep FIFOs accumulate cross-traffic trains the
-        // recursion does not count, so deeper-than-default also demotes.
+        // recursion does not count, so deeper-than-default also demotes the
+        // classic analyses — the depth-enveloped preemptive repair carries
+        // dominance instead.
         let suite =
             oracle_suite_with_buffers(&flows, &config, mesh, &BufferConfig::uniform(64)).unwrap();
+        let names: Vec<&str> = suite.iter().map(|o| o.name()).collect();
+        assert_eq!(names, ["regular", "ubd", "preemptive", "slot"]);
         let flags: Vec<bool> = suite.iter().map(|o| o.dominates_observation()).collect();
-        assert_eq!(flags, [false, false, false]);
+        assert_eq!(flags, [false, false, true, false]);
+    }
+
+    #[test]
+    fn multi_vc_platforms_demote_every_single_vc_analysis() {
+        use crate::vc::VcAssignment;
+        let mesh = Mesh::square(4).unwrap();
+        let flows = FlowSet::all_to_one(&mesh, Coord::from_row_col(0, 0)).unwrap();
+        let vcs = VcConfig::new(2, VcAssignment::FlowIndex).unwrap();
+
+        // Round robin: only the preemptive oracle models cross-VC priority.
+        let config = NocConfig::regular(4);
+        let suite =
+            oracle_suite_with_vcs(&flows, &config, mesh, &BufferConfig::uniform(4), vcs).unwrap();
+        let names: Vec<&str> = suite.iter().map(|o| o.name()).collect();
+        assert_eq!(names, ["regular", "ubd", "preemptive", "slot"]);
+        let flags: Vec<bool> = suite.iter().map(|o| o.dominates_observation()).collect();
+        assert_eq!(flags, [false, false, true, false]);
+
+        // WaW: the weighted analyses model the single-VC router only, so no
+        // analysis claims observation safety on a multi-VC WaW platform.
+        let config = NocConfig::waw_wap();
+        let suite =
+            oracle_suite_with_vcs(&flows, &config, mesh, &BufferConfig::uniform(4), vcs).unwrap();
+        assert!(suite.iter().all(|o| !o.dominates_observation()));
+    }
+
+    #[test]
+    fn message_dominance_is_per_packet_only_for_the_classic_rr_analyses() {
+        let (flows, config) = setup(4, NocConfig::regular(4));
+        let suite = oracle_suite(&flows, &config).unwrap();
+        for oracle in &suite {
+            let multi_packet = oracle.dominates_message(5);
+            match oracle.name() {
+                // The Σ per-packet composition is campaign-proven unsound
+                // for multi-packet messages.
+                "regular" | "ubd" => {
+                    assert!(oracle.dominates_message(4));
+                    assert!(!multi_packet);
+                }
+                _ => assert!(multi_packet),
+            }
+        }
+        // WaW keeps the historical claims (single-slice probes only).
+        let (flows, config) = setup(4, NocConfig::waw_wap());
+        for oracle in oracle_suite(&flows, &config).unwrap() {
+            assert!(oracle.dominates_message(5), "{}", oracle.name());
+        }
+    }
+
+    #[test]
+    fn preemptive_dominates_the_regular_composition() {
+        let (flows, config) = setup(5, NocConfig::regular(8));
+        let mut regular = RegularOracle::new(&flows, &config, 8);
+        let mut preemptive = PreemptiveOracle::new(
+            &flows,
+            &config,
+            &BufferConfig::uniform(config.input_buffer_flits),
+            VcConfig::single(),
+        );
+        for (id, _) in flows.iter() {
+            for mf in [1u32, 8, 9, 16] {
+                let r = regular.message_bound(id, mf).unwrap();
+                let p = preemptive.message_bound(id, mf).unwrap();
+                assert!(p >= r, "{id} mf={mf}: preemptive {p} below regular {r}");
+            }
+        }
     }
 
     #[test]

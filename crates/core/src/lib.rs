@@ -66,6 +66,7 @@ pub mod packetization;
 pub mod port;
 pub mod routing;
 pub mod topology;
+pub mod vc;
 pub mod weights;
 
 pub use arbitration::ArbitrationPolicy;
@@ -80,4 +81,5 @@ pub use packetization::{MessageDescriptor, PacketizationPolicy, Packetizer, Phit
 pub use port::{Direction, Port};
 pub use routing::{Hop, Route, RoutingAlgorithm, XyRouting};
 pub use topology::{Link, Mesh};
+pub use vc::{VcAssignment, VcConfig, MAX_VCS};
 pub use weights::WeightTable;

@@ -60,6 +60,7 @@ use std::collections::HashMap;
 
 use wnoc_core::flow::FlowSet;
 use wnoc_core::packetization::Packetizer;
+use wnoc_core::vc::VcConfig;
 use wnoc_core::weights::WeightTable;
 use wnoc_core::{
     BufferConfig, Coord, Cycle, Direction, Error, FlowId, Mesh, MessageId, NocConfig, NodeId, Port,
@@ -210,6 +211,12 @@ pub struct Network {
     mesh: Mesh,
     config: NocConfig,
     buffers: BufferConfig,
+    /// Virtual-channel configuration (count 1 reproduces the single-queue
+    /// design bit for bit).
+    vcs: VcConfig,
+    /// VC carried by each flow, indexed by [`FlowId`]; extended on demand as
+    /// flows register.  A flow keeps its VC at every hop.
+    vc_of: Vec<u8>,
     routers: Vec<Router>,
     nics: Vec<Nic>,
     /// All unidirectional links, indexed densely.
@@ -245,8 +252,9 @@ pub struct Network {
     /// Single-cycle-link fast path: flits pushed this cycle, in forward
     /// order, delivered directly in phase 2 without touching the link rings
     /// or their worklist (`true` iff the configured link latency is 1).
+    /// Entries carry the flit's VC so delivery needs no arena lookup.
     wire_is_fast: bool,
-    scratch_wire: Vec<(u32, FlitId)>,
+    scratch_wire: Vec<(u32, u8, FlitId)>,
     /// Dense reference scheduling: visit every flit-holding router and
     /// back-logged NIC every cycle, never jump the clock (the differential
     /// oracle for the event-horizon scheduler).
@@ -303,6 +311,31 @@ impl Network {
         flows: &FlowSet,
         buffers: &BufferConfig,
     ) -> Result<Self> {
+        Self::with_vcs(mesh, config, flows, buffers, VcConfig::single())
+    }
+
+    /// Builds a network with virtual channels: `vcs.count()` rings per input
+    /// port (each at the full configured depth), per-`(output, VC)` credits,
+    /// and strict-priority VC selection at every output (see
+    /// [`Router`](crate::router::Router)).  Flows are pinned to VCs by
+    /// `vcs`'s static assignment; a flow keeps its VC at every hop.  With a
+    /// single VC this is bit-for-bit [`Network::with_buffers`].
+    ///
+    /// The contention-free worm fast-forward stays single-VC only (its
+    /// closed form assumes one ring per port); multi-VC networks always
+    /// advance horizon to horizon.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidConfig`] if the configuration is invalid or
+    /// `buffers` does not cover `mesh`.
+    pub fn with_vcs(
+        mesh: Mesh,
+        config: NocConfig,
+        flows: &FlowSet,
+        buffers: &BufferConfig,
+        vcs: VcConfig,
+    ) -> Result<Self> {
         config.validate()?;
         buffers.validate(&mesh)?;
         let weights = WeightTable::from_flow_set(flows);
@@ -338,6 +371,7 @@ impl Network {
                 &weights,
                 &input_depths,
                 &output_credits,
+                vcs.count(),
             ));
             nics.push(Nic::new(
                 node,
@@ -365,17 +399,24 @@ impl Network {
                     continue;
                 };
                 let downstream_index = mesh.node_id(downstream)?.index();
-                let credits = routers[index].credits(Port::Mesh(dir));
-                let capacity = routers[downstream_index].input_capacity(Port::Mesh(dir.opposite()));
-                assert_eq!(
-                    credits as usize, capacity,
-                    "credits of {coord} towards {dir} diverge from the downstream ring"
-                );
+                for vc in 0..vcs.count() as usize {
+                    let credits = routers[index].credits(Port::Mesh(dir), vc);
+                    let capacity =
+                        routers[downstream_index].input_capacity(Port::Mesh(dir.opposite()), vc);
+                    assert_eq!(
+                        credits as usize, capacity,
+                        "credits of {coord} towards {dir} (VC {vc}) diverge from the \
+                         downstream ring"
+                    );
+                }
             }
         }
         let mut flow_ids: HashMap<_, _, FxBuildHasher> = HashMap::default();
+        let mut vc_of = vec![0u8; flows.len()];
         for (id, flow) in flows.iter() {
             flow_ids.insert((flow.src, flow.dst), id);
+            let (src, dst) = (mesh.coord_of(flow.src)?, mesh.coord_of(flow.dst)?);
+            vc_of[id.0] = vcs.vc_of(id, src, dst) as u8;
         }
         let next_flow = flows.len();
         let link_count = links.len();
@@ -383,6 +424,8 @@ impl Network {
             mesh,
             config,
             buffers: buffers.clone(),
+            vcs,
+            vc_of,
             routers,
             nics,
             links,
@@ -444,6 +487,11 @@ impl Network {
         &self.buffers
     }
 
+    /// The virtual-channel configuration the network was built with.
+    pub fn vcs(&self) -> &VcConfig {
+        &self.vcs
+    }
+
     /// Current simulation cycle.
     pub fn cycle(&self) -> Cycle {
         self.cycle
@@ -492,7 +540,28 @@ impl Network {
         let id = FlowId(self.next_flow);
         self.next_flow += 1;
         self.flow_ids.insert((src, dst), id);
+        // Late registrations extend the flow → VC table with the same static
+        // assignment construction used (the endpoints are validated by every
+        // caller before the lookup).
+        let vc = match (self.mesh.coord_of(src), self.mesh.coord_of(dst)) {
+            (Ok(s), Ok(d)) => self.vcs.vc_of(id, s, d) as u8,
+            _ => 0,
+        };
+        debug_assert_eq!(self.vc_of.len(), id.0);
+        self.vc_of.push(vc);
         id
+    }
+
+    /// The VC carried by flit `id` — its flow's statically assigned ring
+    /// index at every hop (always 0 in the single-VC design).
+    #[inline]
+    fn flit_vc(&self, id: FlitId) -> usize {
+        if self.vcs.is_single() {
+            return 0;
+        }
+        self.vc_of
+            .get(self.arena.get(id).flow.0)
+            .map_or(0, |&vc| vc as usize)
     }
 
     /// Number of flits queued at the NIC of `node` and not yet injected.
@@ -562,12 +631,13 @@ impl Network {
                 self.port_flits[index * Port::COUNT + fwd.output.index()] += 1;
                 match fwd.input {
                     // Return a credit to the upstream router that fed this
-                    // input, and wake it if the credit may unblock it.
+                    // input (on the drained flit's VC), and wake it if the
+                    // credit may unblock it.
                     Port::Mesh(dir) => {
                         let upstream = self.neighbor[index][fwd.input.index()];
                         debug_assert_ne!(upstream, NONE, "mesh input implies a neighbour");
                         let upstream = upstream as usize;
-                        self.routers[upstream].credit_return(Port::Mesh(dir.opposite()));
+                        self.routers[upstream].credit_return(Port::Mesh(dir.opposite()), fwd.vc);
                         if self.routers[upstream].buffered_flits() > 0 {
                             if upstream > index {
                                 Self::wake_in_sweep(
@@ -598,7 +668,7 @@ impl Network {
                             // Latency-1 wire: the flit is due this very
                             // cycle; deliver it from the per-cycle list and
                             // skip the ring and worklist entirely.
-                            self.scratch_wire.push((link, fwd.flit));
+                            self.scratch_wire.push((link, fwd.vc as u8, fwd.flit));
                         } else {
                             self.links[link as usize]
                                 .push(now, fwd.flit)
@@ -624,10 +694,10 @@ impl Network {
         // buffers.  Each link feeds a distinct (router, input) pair, so the
         // sweep order is immaterial.
         for slot in 0..self.scratch_wire.len() {
-            let (link, id) = self.scratch_wire[slot];
+            let (link, vc, id) = self.scratch_wire[slot];
             let (to, input) = self.link_dst[link as usize];
             self.routers[to as usize]
-                .accept(&self.arena, now, input, id)
+                .accept(&self.arena, now, input, vc as usize, id)
                 .expect("credit flow control guarantees buffer space");
             self.active_routers.insert(to as usize);
         }
@@ -637,8 +707,9 @@ impl Network {
             let index = self.scratch_links[slot] as usize;
             if let Some(id) = self.links[index].advance(now) {
                 let (to, input) = self.link_dst[index];
+                let vc = self.flit_vc(id);
                 self.routers[to as usize]
-                    .accept(&self.arena, now, input, id)
+                    .accept(&self.arena, now, input, vc, id)
                     .expect("credit flow control guarantees buffer space");
                 self.active_routers.insert(to as usize);
             }
@@ -655,8 +726,12 @@ impl Network {
         for slot in 0..self.scratch_nics.len() {
             let index = self.scratch_nics[slot] as usize;
             let src = self.nics[index].node();
-            while self.routers[index].free_slots(Port::Local) > 0 {
-                if self.nics[index].peek().is_none() {
+            // FIFO injection: the head flit's VC ring must have room; a head
+            // blocked on its ring stalls the NIC (head-of-line, exactly one
+            // injection queue) until the router drains that ring.
+            while let Some(peeked) = self.nics[index].peek() {
+                let vc = self.flit_vc(peeked);
+                if self.routers[index].free_slots(Port::Local, vc) == 0 {
                     break;
                 }
                 let id = self.nics[index]
@@ -673,7 +748,7 @@ impl Network {
                     self.stats.packets_injected += 1;
                 }
                 self.routers[index]
-                    .accept(&self.arena, now, Port::Local, id)
+                    .accept(&self.arena, now, Port::Local, vc, id)
                     .expect("free slot checked above");
                 self.active_routers.insert(index);
             }
@@ -916,7 +991,10 @@ impl Network {
     /// arrive between driver iterations, i.e. after the jump, exactly as
     /// they would after the dense kernel delivered the worm.
     pub(crate) fn try_worm_fast_forward(&mut self, cap: Cycle) -> bool {
-        if self.dense || self.tracker.len() != 1 {
+        // The closed form models one ring per input port; with several VCs the
+        // lone worm could interleave with idle rings it must not touch, so the
+        // multi-VC design always takes the exact per-cycle path.
+        if self.dense || !self.vcs.is_single() || self.tracker.len() != 1 {
             return false;
         }
         // The closed form below is the latency-1 pipeline (one hop per
@@ -1059,7 +1137,7 @@ impl Network {
                     // `cur` is finally returned as the worm moves on.
                     let upstream = self.neighbor[cur][holder.input.index()];
                     debug_assert_ne!(upstream, NONE, "mesh input implies a neighbour");
-                    self.routers[upstream as usize].credit_return(Port::Mesh(dir.opposite()));
+                    self.routers[upstream as usize].credit_return(Port::Mesh(dir.opposite()), 0);
                 }
                 let popped = self.routers[cur].ff_pop(holder.input);
                 debug_assert_eq!(popped, holder.flit, "verified front flit");
@@ -1403,15 +1481,18 @@ mod tests {
         // R(2,1), whose *west output* must now hold 7 credits.
         let east_neighbor = mesh.node_id(Coord::from_row_col(1, 2)).unwrap();
         assert_eq!(
-            noc.routers[east_neighbor.index()].credits(Port::Mesh(Direction::West)),
+            noc.routers[east_neighbor.index()].credits(Port::Mesh(Direction::West), 0),
             7
         );
         assert_eq!(
-            noc.routers[center.index()].input_capacity(Port::Mesh(Direction::East)),
+            noc.routers[center.index()].input_capacity(Port::Mesh(Direction::East), 0),
             7
         );
         // Every other port keeps the base depth.
-        assert_eq!(noc.routers[center.index()].input_capacity(Port::Local), 2);
+        assert_eq!(
+            noc.routers[center.index()].input_capacity(Port::Local, 0),
+            2
+        );
         assert_eq!(noc.buffers().max_depth(), 7);
     }
 

@@ -30,6 +30,7 @@
 
 use wnoc_core::arbitration::{make_arbiter, ArbitrationPolicy, PortArbiter};
 use wnoc_core::routing::{RoutingAlgorithm, XyRouting};
+use wnoc_core::vc::MAX_VCS;
 use wnoc_core::weights::WeightTable;
 use wnoc_core::{Coord, Cycle, Mesh, PacketId, Port};
 
@@ -43,25 +44,55 @@ pub struct Forward {
     pub input: Port,
     /// Output port the flit leaves through.
     pub output: Port,
+    /// Virtual channel the flit travels on (0 for the single-VC design).  A
+    /// flow keeps its VC at every hop, so this is both the ring the flit was
+    /// popped from here and the ring it lands in downstream.
+    pub vc: usize,
     /// Handle of the forwarded flit.
     pub flit: FlitId,
 }
 
-/// A wormhole path reservation: `input` holds `output` until the packet's tail
-/// flit has been forwarded.
+/// A wormhole path reservation: `input` holds the owning `(output, vc)` slot
+/// until the packet's tail flit has been forwarded.  The VC is implied by the
+/// slot the hold is stored in.
 #[derive(Debug, Clone, Copy)]
 struct Hold {
     input: Port,
     packet: PacketId,
 }
 
-/// One mesh router: five input buffers, per-output arbiters, wormhole switching
-/// and credit-based flow control towards its downstream neighbours.
+/// One mesh router: per-VC input rings on five ports, per-output arbiters,
+/// wormhole switching and credit-based flow control towards its downstream
+/// neighbours.
+///
+/// With more than one virtual channel, every input port carries `vc_count`
+/// independent flit rings (each at the full configured depth), credits and
+/// wormhole holds are tracked per `(output, VC)`, and each output serves its
+/// VCs in **strict priority order** (VC 0 highest): the first VC that can
+/// make progress — a creditable wormhole continuation or a grantable header —
+/// sends the output's one flit of the cycle, and a VC blocked on credits
+/// never blocks a lower-priority VC (that is the preemption the
+/// priority-preemptive WCTT analysis models).  The classic round-robin/WaW
+/// arbiter still breaks ties, among the *input ports* requesting within the
+/// selected VC.  With `vc_count == 1` all of this reduces bit-for-bit to the
+/// historical single-queue router.
 pub struct Router {
     coord: Coord,
+    /// Virtual channels per input port (1..=[`MAX_VCS`]).
+    vc_count: usize,
+    /// Input rings indexed `port.index() * vc_count + vc`; `None` for every
+    /// VC of a port that does not exist at this coordinate.
     inputs: Vec<Option<FlitBuffer>>,
+    /// Credit counters indexed `output.index() * vc_count + vc`.
     credits: Vec<u32>,
+    /// Wormhole holds indexed `output.index() * vc_count + vc`.
     holds: Vec<Option<Hold>>,
+    /// Arbiters indexed `output.index() * vc_count + vc`: round-robin/WaW
+    /// state is **per `(output, VC)`**, never shared across VCs.  A shared
+    /// per-output pointer would let a saturated higher-priority VC steer the
+    /// round-robin position every cycle and systematically starve one input
+    /// of a lower VC — unbounded same-VC starvation no within-VC round-robin
+    /// analysis could cover.
     arbiters: Vec<Box<dyn PortArbiter>>,
     /// Output port per destination node id, precomputed from XY routing.
     route: Box<[Port]>,
@@ -74,14 +105,15 @@ pub struct Router {
     /// interval is replayed into the arbiters in O(1) on the next
     /// observation ([`Router::replay_idle`]).
     last_decide: Cycle,
-    /// Idle grants owed to each output's arbiter and not yet applied.  Idle
-    /// replenishment is only *observable* at the next grant on the same
-    /// output, so instead of a virtual `grant(&[])` per idle output per
-    /// cycle, the router accrues a per-output debt and flushes it — in
-    /// order, via the O(1) `idle_for` closed form — immediately before that
-    /// grant ([`Router::flush_idle_debt`]).  No reordering ever happens:
+    /// Idle grants owed to each `(output, VC)` arbiter and not yet applied
+    /// (same slot indexing as `arbiters`).  Idle replenishment is only
+    /// *observable* at the next grant on the same slot, so instead of a
+    /// virtual `grant(&[])` per idle slot per cycle, the router accrues a
+    /// per-slot debt and flushes it — in order, via the O(1) `idle_for`
+    /// closed form — immediately before that grant
+    /// ([`Router::flush_idle_debt`]).  No reordering ever happens:
     /// consecutive idle cycles are the only thing coalesced.
-    idle_debt: [u64; Port::COUNT],
+    idle_debt: [u64; Port::COUNT * MAX_VCS],
 }
 
 impl std::fmt::Debug for Router {
@@ -110,11 +142,15 @@ impl Router {
     /// (the network derives both from one [`wnoc_core::BufferConfig`] and
     /// asserts the invariant at construction).  Entries for ports that do not
     /// exist at `coord` (mesh edges) are ignored.  `weights` supplies the WaW
-    /// quotas; it is ignored under round-robin arbitration.
+    /// quotas; it is ignored under round-robin arbitration.  `vcs` is the
+    /// number of virtual channels per input port: every VC of a port gets its
+    /// own ring at the full configured depth and its own credit counter
+    /// (credits are per downstream *ring*, so the invariant holds per VC).
     ///
     /// # Panics
     ///
-    /// Panics if an existing port is given a zero buffer depth.
+    /// Panics if an existing port is given a zero buffer depth, or if `vcs`
+    /// is zero or exceeds [`MAX_VCS`].
     pub fn new(
         coord: Coord,
         mesh: &Mesh,
@@ -122,11 +158,17 @@ impl Router {
         weights: &WeightTable,
         input_depths: &[u32; Port::COUNT],
         output_credits: &[u32; Port::COUNT],
+        vcs: u32,
     ) -> Self {
-        let mut inputs = Vec::with_capacity(Port::COUNT);
-        let mut credits = Vec::with_capacity(Port::COUNT);
-        let mut holds = Vec::with_capacity(Port::COUNT);
-        let mut arbiters: Vec<Box<dyn PortArbiter>> = Vec::with_capacity(Port::COUNT);
+        assert!(
+            (1..=MAX_VCS as u32).contains(&vcs),
+            "router {coord} VC count must be 1..={MAX_VCS}, got {vcs}"
+        );
+        let vc_count = vcs as usize;
+        let mut inputs = Vec::with_capacity(Port::COUNT * vc_count);
+        let mut credits = Vec::with_capacity(Port::COUNT * vc_count);
+        let mut holds = Vec::with_capacity(Port::COUNT * vc_count);
+        let mut arbiters: Vec<Box<dyn PortArbiter>> = Vec::with_capacity(Port::COUNT * vc_count);
         for port in Port::ALL {
             let exists = match port {
                 Port::Local => true,
@@ -136,15 +178,22 @@ impl Router {
                 !exists || input_depths[port.index()] > 0,
                 "input buffer {port} of router {coord} must hold at least one flit"
             );
-            inputs.push(exists.then(|| FlitBuffer::new(input_depths[port.index()] as usize)));
-            credits.push(if exists {
-                output_credits[port.index()]
-            } else {
-                0
-            });
-            holds.push(None);
+            for _vc in 0..vc_count {
+                inputs.push(exists.then(|| FlitBuffer::new(input_depths[port.index()] as usize)));
+                credits.push(if exists {
+                    output_credits[port.index()]
+                } else {
+                    0
+                });
+                holds.push(None);
+            }
+            // One arbiter (with the full quota set under WaW) per VC of the
+            // output: round-robin position and quota counters must not leak
+            // across priority classes.
             let quotas = weights.reduced_quotas(coord, port);
-            arbiters.push(make_arbiter(policy, &quotas));
+            for _vc in 0..vc_count {
+                arbiters.push(make_arbiter(policy, &quotas));
+            }
         }
         let routing = XyRouting::new();
         let route = mesh
@@ -158,6 +207,7 @@ impl Router {
             .collect();
         Self {
             coord,
+            vc_count,
             inputs,
             credits,
             holds,
@@ -165,13 +215,14 @@ impl Router {
             route,
             buffered: 0,
             last_decide: 0,
-            idle_debt: [0; Port::COUNT],
+            idle_debt: [0; Port::COUNT * MAX_VCS],
         }
     }
 
     /// Convenience constructor with every input buffer `depth` flits deep and
     /// every output assuming an equally deep downstream buffer — the uniform
-    /// design point (and the shape of the historical two-scalar constructor).
+    /// single-VC design point (and the shape of the historical two-scalar
+    /// constructor).
     pub fn with_uniform_buffers(
         coord: Coord,
         mesh: &Mesh,
@@ -186,6 +237,7 @@ impl Router {
             weights,
             &[depth; Port::COUNT],
             &[depth; Port::COUNT],
+            1,
         )
     }
 
@@ -194,19 +246,30 @@ impl Router {
         self.coord
     }
 
-    /// Total capacity of the input buffer of `port`, in flits (zero if the
-    /// port does not exist) — the quantity an upstream credit counter must
-    /// match.
-    pub fn input_capacity(&self, port: Port) -> usize {
-        self.inputs[port.index()]
+    /// Virtual channels per input port.
+    pub fn vc_count(&self) -> usize {
+        self.vc_count
+    }
+
+    /// Ring index of `(port, vc)` in the per-VC state vectors.
+    #[inline]
+    fn slot(&self, port: Port, vc: usize) -> usize {
+        port.index() * self.vc_count + vc
+    }
+
+    /// Total capacity of the VC `vc` input ring of `port`, in flits (zero if
+    /// the port does not exist) — the quantity an upstream credit counter
+    /// must match.
+    pub fn input_capacity(&self, port: Port, vc: usize) -> usize {
+        self.inputs[self.slot(port, vc)]
             .as_ref()
             .map_or(0, FlitBuffer::capacity)
     }
 
-    /// Free slots in the input buffer of `port` (zero if the port does not
-    /// exist).
-    pub fn free_slots(&self, port: Port) -> usize {
-        self.inputs[port.index()]
+    /// Free slots in the VC `vc` input ring of `port` (zero if the port does
+    /// not exist).
+    pub fn free_slots(&self, port: Port, vc: usize) -> usize {
+        self.inputs[self.slot(port, vc)]
             .as_ref()
             .map_or(0, FlitBuffer::free_slots)
     }
@@ -226,24 +289,26 @@ impl Router {
         self.buffered_flits() == 0 && self.holds.iter().all(Option::is_none)
     }
 
-    /// Current credit count of output `port`.
-    pub fn credits(&self, port: Port) -> u32 {
-        self.credits[port.index()]
+    /// Current credit count of output `port` towards the downstream VC `vc`
+    /// ring.
+    pub fn credits(&self, port: Port, vc: usize) -> u32 {
+        self.credits[self.slot(port, vc)]
     }
 
-    /// Returns one credit to output `port` (the downstream router freed a
-    /// buffer slot).
-    pub fn credit_return(&mut self, port: Port) {
-        self.credits[port.index()] += 1;
+    /// Returns one credit to output `port`'s VC `vc` counter (the downstream
+    /// router freed a slot in that ring).
+    pub fn credit_return(&mut self, port: Port, vc: usize) {
+        let slot = self.slot(port, vc);
+        self.credits[slot] += 1;
     }
 
-    /// Returns `true` if any input buffer's head-of-line flit is a header
-    /// routed to `output` — the request set a dense per-cycle `decide` would
-    /// build for that output (nothing is consumed on a no-forward cycle, so
-    /// this is exact for every skipped cycle).
-    fn any_request_for(&self, arena: &FlitArena, output: Port) -> bool {
+    /// Returns `true` if any input ring's head-of-line flit **on VC `vc`** is
+    /// a header routed to `output` — the request set a dense per-cycle
+    /// `decide` would build for that `(output, VC)` (nothing is consumed on a
+    /// no-forward cycle, so this is exact for every skipped cycle).
+    fn any_request_for_vc(&self, arena: &FlitArena, output: Port, vc: usize) -> bool {
         for input in Port::ALL {
-            let Some(buffer) = &self.inputs[input.index()] else {
+            let Some(buffer) = &self.inputs[self.slot(input, vc)] else {
                 continue;
             };
             let Some(front) = buffer.front() else {
@@ -257,19 +322,28 @@ impl Router {
         false
     }
 
+    /// Returns `true` if any VC of `output` has a wormhole hold.
+    #[inline]
+    fn any_hold_on(&self, output: Port) -> bool {
+        let base = output.index() * self.vc_count;
+        self.holds[base..base + self.vc_count]
+            .iter()
+            .any(Option::is_some)
+    }
+
     /// Replays the skipped cycles `last_decide + 1 ..= next - 1` into the
-    /// arbiters, in O(1) per output via the
+    /// arbiters, in O(1) per `(output, VC)` via the
     /// [`idle_for`](wnoc_core::arbitration::PortArbiter::idle_for) closed
     /// form.
     ///
     /// The event-horizon scheduler only skips a router while it provably
     /// forwards nothing, so each skipped cycle behaves exactly like a dense
-    /// `decide` on the frozen state: outputs with a wormhole hold never
-    /// consult their arbiter, outputs with a pending request but no credit
-    /// leave it untouched, and only hold-free request-free outputs issue an
-    /// idle grant.  Buffer fronts are frozen across the interval (no
-    /// forwards), so recomputing the request sets from the current fronts
-    /// reproduces every skipped cycle bit for bit.
+    /// `decide` on the frozen state: slots with a wormhole hold never consult
+    /// their arbiter, slots with a pending request but no credit leave it
+    /// untouched, and only hold-free request-free slots issue an idle grant.
+    /// Buffer fronts are frozen across the interval (no forwards), so
+    /// recomputing the request sets from the current fronts reproduces every
+    /// skipped cycle bit for bit.
     pub fn replay_idle(&mut self, arena: &FlitArena, next: Cycle) {
         let through = next.saturating_sub(1);
         if through <= self.last_decide {
@@ -277,25 +351,28 @@ impl Router {
         }
         let skipped = through - self.last_decide;
         for output in Port::ALL {
-            if self.holds[output.index()].is_none() && !self.any_request_for(arena, output) {
-                self.idle_debt[output.index()] += skipped;
+            for vc in 0..self.vc_count {
+                let slot = self.slot(output, vc);
+                if self.holds[slot].is_none() && !self.any_request_for_vc(arena, output, vc) {
+                    self.idle_debt[slot] += skipped;
+                }
             }
         }
         self.last_decide = through;
     }
 
-    /// Applies the accrued idle grants of output `oi` — always called right
-    /// before a real grant on it, so the arbiter observes the exact dense
-    /// sequence of idle and granted cycles.
+    /// Applies the accrued idle grants of `(output, VC)` slot `slot` — always
+    /// called right before a real grant on it, so the arbiter observes the
+    /// exact dense sequence of idle and granted cycles.
     #[inline]
-    fn flush_idle_debt(&mut self, oi: usize) {
-        let debt = std::mem::take(&mut self.idle_debt[oi]);
+    fn flush_idle_debt(&mut self, slot: usize) {
+        let debt = std::mem::take(&mut self.idle_debt[slot]);
         if debt > 0 {
-            self.arbiters[oi].idle_for(debt);
+            self.arbiters[slot].idle_for(debt);
         }
     }
 
-    /// Accepts a flit into the input buffer of `port` in cycle `now`.
+    /// Accepts a flit into the VC `vc` input ring of `port` in cycle `now`.
     ///
     /// The arrival becomes visible to arbitration in cycle `now + 1` (the
     /// network delivers flits after the decision phase), so any cycles the
@@ -304,7 +381,7 @@ impl Router {
     ///
     /// # Errors
     ///
-    /// Returns `Err(id)` if the buffer is full — this indicates a credit
+    /// Returns `Err(id)` if the ring is full — this indicates a credit
     /// flow-control violation and is treated as a fatal simulation error by the
     /// network.
     pub fn accept(
@@ -312,13 +389,15 @@ impl Router {
         arena: &FlitArena,
         now: Cycle,
         port: Port,
+        vc: usize,
         id: FlitId,
     ) -> Result<(), FlitId> {
-        if self.inputs[port.index()].is_none() {
+        let slot = self.slot(port, vc);
+        if self.inputs[slot].is_none() {
             return Err(id);
         }
         self.replay_idle(arena, now + 1);
-        match &mut self.inputs[port.index()] {
+        match &mut self.inputs[slot] {
             Some(buffer) => {
                 buffer.push(id)?;
                 self.buffered += 1;
@@ -343,141 +422,166 @@ impl Router {
         self.replay_idle(arena, now);
         self.last_decide = now;
 
-        // Inputs already consumed this cycle (an input can feed one output),
-        // as a bitmask over input-port indices.
+        // Inputs already consumed this cycle (an input port can feed one
+        // output, whichever VC the flit came from), as a bitmask over
+        // input-port indices.
         let mut consumed_mask = 0u8;
 
-        // One pass over the head-of-line flits: everything the per-output
-        // loop needs (tail kind, packet id) is cached here, and the request
-        // set of every output is prebuilt as a bitmask of requesting inputs
-        // — turning the 5-output × 5-input scan with up to 25 arena
-        // dereferences into one 5-input pass.  A cache entry goes stale the
-        // moment its input is consumed, and `consumed_mask` masks exactly
-        // those entries.
+        // One pass over the head-of-line flits of every `(input, VC)` ring:
+        // everything the per-output loop needs (tail kind, packet id) is
+        // cached here, and the request set of every `(output, VC)` is
+        // prebuilt as a bitmask of requesting inputs — turning the repeated
+        // output × input × VC scan with its arena dereferences into one
+        // pass.  A cache entry goes stale the moment its input is consumed,
+        // and `consumed_mask` masks exactly those entries.
         #[derive(Clone, Copy)]
         struct FrontCache {
             id: FlitId,
             tail: bool,
             packet: PacketId,
         }
-        let mut fronts: [Option<FrontCache>; Port::COUNT] = [None; Port::COUNT];
-        let mut request_masks = [0u8; Port::COUNT];
+        let mut fronts: [[Option<FrontCache>; MAX_VCS]; Port::COUNT] =
+            [[None; MAX_VCS]; Port::COUNT];
+        let mut request_masks = [[0u8; MAX_VCS]; Port::COUNT];
         if self.buffered > 0 {
             for input in Port::ALL {
-                let Some(buffer) = &self.inputs[input.index()] else {
-                    continue;
-                };
-                let Some(id) = buffer.front() else {
-                    continue;
-                };
-                let flit = arena.get(id);
-                if flit.kind.is_head() {
-                    // A header at the front requests its routed output; a
-                    // body flit never does (the wormhole hold guarantees an
-                    // orphaned body cannot happen).
-                    request_masks[self.route[flit.dst.index()].index()] |= 1 << input.index();
+                for vc in 0..self.vc_count {
+                    let Some(buffer) = &self.inputs[self.slot(input, vc)] else {
+                        continue;
+                    };
+                    let Some(id) = buffer.front() else {
+                        continue;
+                    };
+                    let flit = arena.get(id);
+                    if flit.kind.is_head() {
+                        // A header at the front requests its routed output; a
+                        // body flit never does (the wormhole hold guarantees
+                        // an orphaned body cannot happen).
+                        request_masks[self.route[flit.dst.index()].index()][vc] |=
+                            1 << input.index();
+                    }
+                    fronts[input.index()][vc] = Some(FrontCache {
+                        id,
+                        tail: flit.kind.is_tail(),
+                        packet: flit.packet,
+                    });
                 }
-                fronts[input.index()] = Some(FrontCache {
-                    id,
-                    tail: flit.kind.is_tail(),
-                    packet: flit.packet,
-                });
             }
         }
 
         for output in Port::ALL {
             let oi = output.index();
-            if let Some(hold) = self.holds[oi] {
-                // Wormhole continuation: only the holding packet may use the
-                // output, no arbitration needed.
-                let ii = hold.input.index();
-                if consumed_mask & (1 << ii) != 0 {
+            // VCs are served in strict priority order (VC 0 highest): the
+            // first VC able to progress sends the output's one flit of this
+            // cycle; a higher-priority VC blocked on credits does not block
+            // lower ones.  Arbiter state (round-robin position, WaW quotas)
+            // and idle debt are per `(output, VC)` slot: a slot with neither
+            // a hold nor a live request shows its own arbiter an idle cycle
+            // (matching what `replay_idle` reconstructs for skipped cycles),
+            // a slot with a request but no grant leaves it untouched.
+            let mut forwarded = false;
+            for vc in 0..self.vc_count {
+                let slot = oi * self.vc_count + vc;
+                if let Some(hold) = self.holds[slot] {
+                    if forwarded {
+                        continue;
+                    }
+                    // Wormhole continuation: only the holding packet may use
+                    // this `(output, VC)`, no arbitration needed.
+                    let ii = hold.input.index();
+                    if consumed_mask & (1 << ii) != 0 {
+                        continue;
+                    }
+                    let has_credit = output == Port::Local || self.credits[slot] > 0;
+                    if !has_credit {
+                        continue;
+                    }
+                    let Some(front) = fronts[ii][vc] else {
+                        continue;
+                    };
+                    if front.packet != hold.packet {
+                        continue;
+                    }
+                    let id = self.inputs[ii * self.vc_count + vc]
+                        .as_mut()
+                        .and_then(FlitBuffer::pop)
+                        .expect("cached front exists");
+                    debug_assert_eq!(id, front.id);
+                    self.buffered -= 1;
+                    consumed_mask |= 1 << ii;
+                    if output != Port::Local {
+                        self.credits[slot] -= 1;
+                    }
+                    if front.tail {
+                        self.holds[slot] = None;
+                    }
+                    forwards.push(Forward {
+                        input: hold.input,
+                        output,
+                        vc,
+                        flit: id,
+                    });
+                    forwarded = true;
                     continue;
                 }
-                let has_credit = output == Port::Local || self.credits[oi] > 0;
+
+                // Free `(output, VC)`: arbitrate among input ports whose
+                // head-of-line flit on this VC is a header routed to this
+                // output.  Fixed-size request set: this loop runs for every
+                // busy router every cycle and must not allocate.
+                let mask = request_masks[oi][vc] & !consumed_mask;
+                if mask == 0 {
+                    self.idle_debt[slot] += 1;
+                    continue;
+                }
+                if forwarded {
+                    continue;
+                }
+                let has_credit = output == Port::Local || self.credits[slot] > 0;
                 if !has_credit {
                     continue;
                 }
-                let Some(front) = fronts[ii] else {
+                // Expand the mask in ascending input-index order — the order
+                // the dense request scan produced.
+                let mut requests = [Port::Local; Port::COUNT];
+                let mut request_count = 0;
+                let mut bits = mask;
+                while bits != 0 {
+                    requests[request_count] = Port::from_index(bits.trailing_zeros() as usize);
+                    request_count += 1;
+                    bits &= bits - 1;
+                }
+                let requests = &requests[..request_count];
+                self.flush_idle_debt(slot);
+                let Some(winner) = self.arbiters[slot].grant(requests) else {
                     continue;
                 };
-                if front.packet != hold.packet {
-                    continue;
-                }
-                let id = self.inputs[ii]
+                let wi = winner.index();
+                let front = fronts[wi][vc].expect("winner had a cached front");
+                let id = self.inputs[wi * self.vc_count + vc]
                     .as_mut()
                     .and_then(FlitBuffer::pop)
-                    .expect("cached front exists");
+                    .expect("winner had a head flit");
                 debug_assert_eq!(id, front.id);
                 self.buffered -= 1;
-                consumed_mask |= 1 << ii;
+                consumed_mask |= 1 << wi;
                 if output != Port::Local {
-                    self.credits[oi] -= 1;
+                    self.credits[slot] -= 1;
                 }
-                if front.tail {
-                    self.holds[oi] = None;
+                if !front.tail {
+                    self.holds[slot] = Some(Hold {
+                        input: winner,
+                        packet: front.packet,
+                    });
                 }
                 forwards.push(Forward {
-                    input: hold.input,
+                    input: winner,
                     output,
+                    vc,
                     flit: id,
                 });
-                continue;
+                forwarded = true;
             }
-
-            // Free output: arbitrate among input ports whose head-of-line flit
-            // is a header routed to this output.  Fixed-size request set: this
-            // loop runs for every busy router every cycle and must not
-            // allocate.
-            let mask = request_masks[oi] & !consumed_mask;
-            let has_credit = output == Port::Local || self.credits[oi] > 0;
-            if mask == 0 || !has_credit {
-                // The WaW arbiter replenishes its counters on idle cycles;
-                // the replenishment is only observable at the next grant, so
-                // it accrues as debt instead of a virtual call per cycle.
-                if mask == 0 {
-                    self.idle_debt[oi] += 1;
-                }
-                continue;
-            }
-            // Expand the mask in ascending input-index order — the order the
-            // dense request scan produced.
-            let mut requests = [Port::Local; Port::COUNT];
-            let mut request_count = 0;
-            let mut bits = mask;
-            while bits != 0 {
-                requests[request_count] = Port::from_index(bits.trailing_zeros() as usize);
-                request_count += 1;
-                bits &= bits - 1;
-            }
-            let requests = &requests[..request_count];
-            self.flush_idle_debt(oi);
-            let Some(winner) = self.arbiters[oi].grant(requests) else {
-                continue;
-            };
-            let wi = winner.index();
-            let front = fronts[wi].expect("winner had a cached front");
-            let id = self.inputs[wi]
-                .as_mut()
-                .and_then(FlitBuffer::pop)
-                .expect("winner had a head flit");
-            debug_assert_eq!(id, front.id);
-            self.buffered -= 1;
-            consumed_mask |= 1 << wi;
-            if output != Port::Local {
-                self.credits[oi] -= 1;
-            }
-            if !front.tail {
-                self.holds[oi] = Some(Hold {
-                    input: winner,
-                    packet: front.packet,
-                });
-            }
-            forwards.push(Forward {
-                input: winner,
-                output,
-                flit: id,
-            });
         }
     }
 
@@ -487,31 +591,33 @@ impl Router {
         self.route[dst.index()]
     }
 
-    /// If the router buffers exactly one flit across all inputs, returns the
-    /// input port holding it and its handle.
+    /// If the router buffers exactly one flit across all inputs (any VC),
+    /// returns the input port holding it and its handle.
     pub(crate) fn only_flit(&self) -> Option<(Port, FlitId)> {
         if self.buffered != 1 {
             return None;
         }
-        for port in Port::ALL {
-            if let Some(buffer) = &self.inputs[port.index()] {
-                if let Some(front) = buffer.front() {
-                    return Some((port, front));
-                }
+        for (slot, buffer) in self.inputs.iter().enumerate() {
+            if let Some(front) = buffer.as_ref().and_then(FlitBuffer::front) {
+                return Some((Port::from_index(slot / self.vc_count), front));
             }
         }
         None
     }
 
-    /// The packet currently holding output `port`, if any.
+    /// The packet currently holding output `port` (VC 0), if any.  Only
+    /// consulted by the single-VC worm fast-forward.
     pub(crate) fn hold_packet(&self, port: Port) -> Option<PacketId> {
-        self.holds[port.index()].map(|h| h.packet)
+        debug_assert_eq!(self.vc_count, 1, "worm fast-forward is single-VC only");
+        self.holds[self.slot(port, 0)].map(|h| h.packet)
     }
 
-    /// Fast-forward: removes the single remaining flit from `input` (its
-    /// transfer has been applied in closed form).
+    /// Fast-forward: removes the single remaining flit from `input`'s VC 0
+    /// ring (its transfer has been applied in closed form).
     pub(crate) fn ff_pop(&mut self, input: Port) -> FlitId {
-        let id = self.inputs[input.index()]
+        debug_assert_eq!(self.vc_count, 1, "worm fast-forward is single-VC only");
+        let slot = self.slot(input, 0);
+        let id = self.inputs[slot]
             .as_mut()
             .and_then(FlitBuffer::pop)
             .expect("fast-forward pops a verified flit");
@@ -540,23 +646,26 @@ impl Router {
         first_decide: Cycle,
         span: u64,
     ) {
+        debug_assert_eq!(self.vc_count, 1, "worm fast-forward is single-VC only");
         self.replay_idle(arena, first_decide);
         for output in Port::ALL {
             if output == out {
                 continue;
             }
             debug_assert!(
-                self.holds[output.index()].is_none(),
+                !self.any_hold_on(output),
                 "single-worm fast-forward implies no hold off the worm's path"
             );
-            self.idle_debt[output.index()] += span;
+            self.idle_debt[self.slot(output, 0)] += span;
         }
         for &input in head_inputs {
-            self.flush_idle_debt(out.index());
-            let granted = self.arbiters[out.index()].grant(&[input]);
+            let out_slot = self.slot(out, 0);
+            self.flush_idle_debt(out_slot);
+            let granted = self.arbiters[out_slot].grant(&[input]);
             debug_assert_eq!(granted, Some(input), "single requester is always granted");
         }
-        self.holds[out.index()] = None;
+        let slot = self.slot(out, 0);
+        self.holds[slot] = None;
         self.last_decide = first_decide + span - 1;
     }
 }
@@ -618,13 +727,13 @@ mod tests {
         // Destination is the node to the west: (0, 1).
         let dst = mesh.node_id(Coord::new(0, 1)).unwrap();
         let id = flit(&mut arena, dst, FlitKind::HeadTail, 1, 0);
-        r.accept(&arena, clock.now(), Port::Local, id).unwrap();
+        r.accept(&arena, clock.now(), Port::Local, 0, id).unwrap();
         let forwards = clock.decide(&mut r, &arena);
         assert_eq!(forwards.len(), 1);
         assert_eq!(forwards[0].output, Port::Mesh(wnoc_core::Direction::West));
         assert_eq!(forwards[0].input, Port::Local);
         // Credit consumed on the west output.
-        assert_eq!(r.credits(Port::Mesh(wnoc_core::Direction::West)), 3);
+        assert_eq!(r.credits(Port::Mesh(wnoc_core::Direction::West), 0), 3);
         assert!(r.is_idle());
     }
 
@@ -641,13 +750,14 @@ mod tests {
             &arena,
             clock.now(),
             Port::Mesh(wnoc_core::Direction::East),
+            0,
             id,
         )
         .unwrap();
         let forwards = clock.decide(&mut r, &arena);
         assert_eq!(forwards.len(), 1);
         assert_eq!(forwards[0].output, Port::Local);
-        assert_eq!(r.credits(Port::Local), 4);
+        assert_eq!(r.credits(Port::Local, 0), 4);
     }
 
     #[test]
@@ -665,13 +775,14 @@ mod tests {
             (FlitKind::Tail, 2),
         ] {
             let id = flit(&mut arena, west_dst, kind, 1, seq);
-            r.accept(&arena, clock.now(), Port::Local, id).unwrap();
+            r.accept(&arena, clock.now(), Port::Local, 0, id).unwrap();
         }
         let id = flit(&mut arena, west_dst, FlitKind::HeadTail, 2, 0);
         r.accept(
             &arena,
             clock.now(),
             Port::Mesh(wnoc_core::Direction::East),
+            0,
             id,
         )
         .unwrap();
@@ -707,16 +818,17 @@ mod tests {
             &w,
             &[4; Port::COUNT],
             &[1; Port::COUNT],
+            1,
         );
         let west_dst = mesh.node_id(Coord::new(0, 1)).unwrap();
         let id = flit(&mut arena, west_dst, FlitKind::Head, 1, 0);
-        r.accept(&arena, clock.now(), Port::Local, id).unwrap();
+        r.accept(&arena, clock.now(), Port::Local, 0, id).unwrap();
         let id = flit(&mut arena, west_dst, FlitKind::Tail, 1, 1);
-        r.accept(&arena, clock.now(), Port::Local, id).unwrap();
+        r.accept(&arena, clock.now(), Port::Local, 0, id).unwrap();
         assert_eq!(clock.decide(&mut r, &arena).len(), 1);
         // Credit exhausted: the tail cannot move until a credit returns.
         assert_eq!(clock.decide(&mut r, &arena).len(), 0);
-        r.credit_return(Port::Mesh(wnoc_core::Direction::West));
+        r.credit_return(Port::Mesh(wnoc_core::Direction::West), 0);
         assert_eq!(clock.decide(&mut r, &arena).len(), 1);
         assert!(r.is_idle());
     }
@@ -730,10 +842,10 @@ mod tests {
         // The corner router has no west or north port.
         let id = flit(&mut arena, dst, FlitKind::HeadTail, 1, 0);
         assert!(r
-            .accept(&arena, 0, Port::Mesh(wnoc_core::Direction::West), id)
+            .accept(&arena, 0, Port::Mesh(wnoc_core::Direction::West), 0, id)
             .is_err());
-        assert_eq!(r.free_slots(Port::Mesh(wnoc_core::Direction::North)), 0);
-        assert!(r.free_slots(Port::Local) > 0);
+        assert_eq!(r.free_slots(Port::Mesh(wnoc_core::Direction::North), 0), 0);
+        assert!(r.free_slots(Port::Local, 0) > 0);
     }
 
     #[test]
@@ -745,12 +857,13 @@ mod tests {
         let west_dst = mesh.node_id(Coord::new(0, 1)).unwrap();
         let south_dst = mesh.node_id(Coord::new(1, 3)).unwrap();
         let id = flit(&mut arena, west_dst, FlitKind::HeadTail, 1, 0);
-        r.accept(&arena, clock.now(), Port::Local, id).unwrap();
+        r.accept(&arena, clock.now(), Port::Local, 0, id).unwrap();
         let id = flit(&mut arena, south_dst, FlitKind::HeadTail, 2, 0);
         r.accept(
             &arena,
             clock.now(),
             Port::Mesh(wnoc_core::Direction::North),
+            0,
             id,
         )
         .unwrap();
@@ -781,15 +894,15 @@ mod tests {
                 let inject = cycle <= 6 || (31..=36).contains(&cycle);
                 let idle_window = (15..=30).contains(&cycle);
                 if inject {
-                    if r.free_slots(east) > 0 {
+                    if r.free_slots(east, 0) > 0 {
                         packet += 1;
                         let id = flit(&mut arena, dst, FlitKind::HeadTail, packet, 0);
-                        r.accept(&arena, cycle - 1, east, id).unwrap();
+                        r.accept(&arena, cycle - 1, east, 0, id).unwrap();
                     }
-                    if r.free_slots(south) > 0 {
+                    if r.free_slots(south, 0) > 0 {
                         packet += 1;
                         let id = flit(&mut arena, dst, FlitKind::HeadTail, packet, 0);
-                        r.accept(&arena, cycle - 1, south, id).unwrap();
+                        r.accept(&arena, cycle - 1, south, 0, id).unwrap();
                     }
                 }
                 if idle_window {
@@ -834,15 +947,15 @@ mod tests {
         let mut packet = 0u64;
         for _ in 0..300 {
             // Keep both inputs saturated with single-flit packets.
-            while r.free_slots(east) > 0 {
+            while r.free_slots(east, 0) > 0 {
                 packet += 1;
                 let id = flit(&mut arena, dst, FlitKind::HeadTail, packet, 0);
-                r.accept(&arena, clock.now(), east, id).unwrap();
+                r.accept(&arena, clock.now(), east, 0, id).unwrap();
             }
-            while r.free_slots(south) > 0 {
+            while r.free_slots(south, 0) > 0 {
                 packet += 1;
                 let id = flit(&mut arena, dst, FlitKind::HeadTail, packet, 0);
-                r.accept(&arena, clock.now(), south, id).unwrap();
+                r.accept(&arena, clock.now(), south, 0, id).unwrap();
             }
             for f in clock.decide(&mut r, &arena) {
                 if f.output == Port::Local {
@@ -861,5 +974,197 @@ mod tests {
             (south_share - 2.0 / 3.0).abs() < 0.05,
             "south share {south_share}"
         );
+    }
+
+    /// A two-VC router with the given per-`(output, VC)` credit pool.
+    fn vc_router(mesh: &Mesh, coord: Coord, credits: u32) -> Router {
+        let w = weights(mesh);
+        Router::new(
+            coord,
+            mesh,
+            ArbitrationPolicy::RoundRobin,
+            &w,
+            &[4; Port::COUNT],
+            &[credits; Port::COUNT],
+            2,
+        )
+    }
+
+    #[test]
+    fn same_cycle_vc_contention_grants_the_highest_priority_vc_first() {
+        // Two heads contend for the west output in the same cycle, one per
+        // VC: the VC 0 head must win the cycle regardless of arrival order,
+        // and only its VC's credit is consumed.
+        let mesh = Mesh::square(4).unwrap();
+        let mut arena = FlitArena::new();
+        let mut clock = Clock::new();
+        let mut r = vc_router(&mesh, Coord::new(1, 1), 4);
+        let west = Port::Mesh(wnoc_core::Direction::West);
+        let west_dst = mesh.node_id(Coord::new(0, 1)).unwrap();
+        // The VC 1 flit arrives first (local input), the VC 0 flit second
+        // (east input) — strict priority, not arrival order, decides.
+        let id = flit(&mut arena, west_dst, FlitKind::HeadTail, 1, 0);
+        r.accept(&arena, clock.now(), Port::Local, 1, id).unwrap();
+        let id = flit(&mut arena, west_dst, FlitKind::HeadTail, 2, 0);
+        r.accept(
+            &arena,
+            clock.now(),
+            Port::Mesh(wnoc_core::Direction::East),
+            0,
+            id,
+        )
+        .unwrap();
+        let forwards = clock.decide(&mut r, &arena);
+        assert_eq!(forwards.len(), 1);
+        assert_eq!(arena.get(forwards[0].flit).packet.0, 2);
+        assert_eq!(forwards[0].vc, 0);
+        assert_eq!(r.credits(west, 0), 3);
+        assert_eq!(r.credits(west, 1), 4);
+        // The lower-priority VC drains on the next cycle.
+        let forwards = clock.decide(&mut r, &arena);
+        assert_eq!(forwards.len(), 1);
+        assert_eq!(arena.get(forwards[0].flit).packet.0, 1);
+        assert_eq!(forwards[0].vc, 1);
+        assert_eq!(r.credits(west, 1), 3);
+        assert!(r.is_idle());
+    }
+
+    #[test]
+    fn credit_starved_vc0_does_not_block_vc1_in_the_same_cycle() {
+        // One credit per (output, VC).  A two-flit VC 0 packet forwards its
+        // head (consuming the only VC 0 credit) and then stalls mid-worm; a
+        // VC 1 single-flit packet to the same output must still forward in
+        // the very cycle VC 0 is credit-starved.
+        let mesh = Mesh::square(4).unwrap();
+        let mut arena = FlitArena::new();
+        let mut clock = Clock::new();
+        let mut r = vc_router(&mesh, Coord::new(1, 1), 1);
+        let west = Port::Mesh(wnoc_core::Direction::West);
+        let west_dst = mesh.node_id(Coord::new(0, 1)).unwrap();
+        for (kind, seq) in [(FlitKind::Head, 0), (FlitKind::Tail, 1)] {
+            let id = flit(&mut arena, west_dst, kind, 1, seq);
+            r.accept(&arena, clock.now(), Port::Local, 0, id).unwrap();
+        }
+        let id = flit(&mut arena, west_dst, FlitKind::HeadTail, 2, 0);
+        r.accept(
+            &arena,
+            clock.now(),
+            Port::Mesh(wnoc_core::Direction::East),
+            1,
+            id,
+        )
+        .unwrap();
+        // Cycle 1: VC 0 head wins and exhausts its credit pool.
+        let forwards = clock.decide(&mut r, &arena);
+        assert_eq!(forwards.len(), 1);
+        assert_eq!(
+            (arena.get(forwards[0].flit).packet.0, forwards[0].vc),
+            (1, 0)
+        );
+        assert_eq!(r.credits(west, 0), 0);
+        // Cycle 2: the held VC 0 worm cannot move, VC 1 forwards instead.
+        let forwards = clock.decide(&mut r, &arena);
+        assert_eq!(forwards.len(), 1);
+        assert_eq!(
+            (arena.get(forwards[0].flit).packet.0, forwards[0].vc),
+            (2, 1)
+        );
+        // The VC 0 tail resumes only once a VC 0 credit returns.
+        assert_eq!(clock.decide(&mut r, &arena).len(), 0);
+        r.credit_return(west, 0);
+        let forwards = clock.decide(&mut r, &arena);
+        assert_eq!(forwards.len(), 1);
+        assert_eq!(
+            (arena.get(forwards[0].flit).packet.0, forwards[0].vc),
+            (1, 0)
+        );
+        assert!(r.is_idle());
+    }
+
+    #[test]
+    fn vc0_grants_do_not_steer_the_vc1_round_robin() {
+        // Regression: with a single arbiter shared across VCs, every VC 0
+        // grant from one input re-parks the round-robin pointer just past
+        // that input, so whenever VC 1 gets a free cycle the pointer always
+        // selects the same VC 1 input — the other one starves for as long as
+        // the VC 0 stream lasts (campaigns observed flows starved for entire
+        // runs behind a saturated higher-priority VC).  Per-(output, VC)
+        // arbiters must keep the VC 1 round robin fair.
+        let mesh = Mesh::square(4).unwrap();
+        let mut arena = FlitArena::new();
+        let mut clock = Clock::new();
+        let mut r = vc_router(&mesh, Coord::new(1, 1), 16);
+        let east = Port::Mesh(wnoc_core::Direction::East);
+        let south = Port::Mesh(wnoc_core::Direction::South);
+        let west_dst = mesh.node_id(Coord::new(0, 1)).unwrap();
+        // Two VC 1 packets queued per input; topped back up after each grant.
+        for (input, packet) in [(east, 200), (east, 201), (south, 300), (south, 301)] {
+            let id = flit(&mut arena, west_dst, FlitKind::HeadTail, packet, 0);
+            r.accept(&arena, clock.now(), input, 1, id).unwrap();
+        }
+        let mut vc1_grants = (0u32, 0u32);
+        let mut next_packet = (202u64, 302u64);
+        for round in 0..20u64 {
+            if round % 2 == 0 {
+                // VC 0 streams from the east input on even cycles and must
+                // win each of them.
+                let id = flit(&mut arena, west_dst, FlitKind::HeadTail, 100 + round, 0);
+                r.accept(&arena, clock.now(), east, 0, id).unwrap();
+            }
+            let forwards = clock.decide(&mut r, &arena);
+            assert_eq!(forwards.len(), 1);
+            let forward = forwards[0];
+            if round % 2 == 0 {
+                assert_eq!(forward.vc, 0, "VC 0 wins every cycle it has a flit");
+                continue;
+            }
+            assert_eq!(forward.vc, 1);
+            if forward.input == east {
+                vc1_grants.0 += 1;
+                let id = flit(&mut arena, west_dst, FlitKind::HeadTail, next_packet.0, 0);
+                next_packet.0 += 1;
+                r.accept(&arena, clock.now(), east, 1, id).unwrap();
+            } else {
+                assert_eq!(forward.input, south);
+                vc1_grants.1 += 1;
+                let id = flit(&mut arena, west_dst, FlitKind::HeadTail, next_packet.1, 0);
+                next_packet.1 += 1;
+                r.accept(&arena, clock.now(), south, 1, id).unwrap();
+            }
+        }
+        // 10 VC 1 cycles: a fair per-VC round robin alternates 5/5; the
+        // shared-pointer bug gave 10/0.
+        assert_eq!(vc1_grants, (5, 5));
+    }
+
+    #[test]
+    fn credit_return_unblocks_only_its_own_vc() {
+        // Credits are per-(output, VC) pools: returning a VC 1 credit must
+        // not release a packet waiting on VC 0 credits.
+        let mesh = Mesh::square(4).unwrap();
+        let mut arena = FlitArena::new();
+        let mut clock = Clock::new();
+        let mut r = vc_router(&mesh, Coord::new(1, 1), 1);
+        let west = Port::Mesh(wnoc_core::Direction::West);
+        let west_dst = mesh.node_id(Coord::new(0, 1)).unwrap();
+        let id = flit(&mut arena, west_dst, FlitKind::HeadTail, 1, 0);
+        r.accept(&arena, clock.now(), Port::Local, 0, id).unwrap();
+        assert_eq!(clock.decide(&mut r, &arena).len(), 1);
+        let id = flit(&mut arena, west_dst, FlitKind::HeadTail, 2, 0);
+        r.accept(&arena, clock.now(), Port::Local, 0, id).unwrap();
+        // VC 0 is out of credits; a VC 1 credit return changes nothing.
+        assert_eq!(clock.decide(&mut r, &arena).len(), 0);
+        r.credit_return(west, 1);
+        assert_eq!(clock.decide(&mut r, &arena).len(), 0);
+        assert_eq!(r.credits(west, 1), 2);
+        // The matching VC 0 return releases the waiting packet.
+        r.credit_return(west, 0);
+        let forwards = clock.decide(&mut r, &arena);
+        assert_eq!(forwards.len(), 1);
+        assert_eq!(
+            (arena.get(forwards[0].flit).packet.0, forwards[0].vc),
+            (2, 0)
+        );
+        assert!(r.is_idle());
     }
 }

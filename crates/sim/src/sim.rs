@@ -132,6 +132,26 @@ impl Simulation {
         })
     }
 
+    /// Builds a simulation with both a buffer plan and a virtual-channel
+    /// configuration (see [`Network::with_vcs`]); `VcConfig::single()` reduces
+    /// to [`Simulation::with_buffers`] exactly.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the configuration is invalid or `buffers` does not
+    /// cover `mesh`.
+    pub fn with_vcs(
+        mesh: Mesh,
+        config: NocConfig,
+        flows: &FlowSet,
+        buffers: &wnoc_core::BufferConfig,
+        vcs: wnoc_core::VcConfig,
+    ) -> Result<Self> {
+        Ok(Self {
+            network: Network::with_vcs(mesh, config, flows, buffers, vcs)?,
+        })
+    }
+
     /// The underlying network.
     pub fn network(&self) -> &Network {
         &self.network

@@ -21,7 +21,8 @@ use proptest::prelude::*;
 
 use wnoc_core::config::RouterTiming;
 use wnoc_core::flow::FlowSet;
-use wnoc_core::{Coord, Mesh, NocConfig};
+use wnoc_core::vc::{VcAssignment, VcConfig};
+use wnoc_core::{BufferConfig, Coord, Mesh, NocConfig};
 use wnoc_sim::network::Network;
 use wnoc_sim::{RandomTraffic, SaturatedReport, Simulation, TrafficPattern};
 
@@ -34,6 +35,7 @@ struct Case {
     message_flits: u32,
     driver: u32,
     link_cycles: u32,
+    vcs: u32,
     salt: u64,
 }
 
@@ -49,6 +51,22 @@ impl Case {
         // Multi-cycle links exercise the link-ring horizons (and gate the
         // worm fast-forward, which is a latency-1 closed form).
         config.with_timing(RouterTiming::new(1, self.link_cycles, 1).expect("positive timing"))
+    }
+
+    /// The VC configuration: count 1–4, the assignment rule salted.  Multi-VC
+    /// networks disable the worm fast-forward and route through the per-VC
+    /// priority arbiter, so this dimension exercises scheduling paths the
+    /// single-queue sweep never reaches.
+    fn vc_config(&self) -> VcConfig {
+        if self.vcs <= 1 {
+            return VcConfig::single();
+        }
+        let assignment = if self.salt % 2 == 0 {
+            VcAssignment::FlowIndex
+        } else {
+            VcAssignment::Distance
+        };
+        VcConfig::new(self.vcs, assignment).expect("vc count in range")
     }
 
     fn flows(&self, mesh: &Mesh) -> FlowSet {
@@ -71,7 +89,9 @@ impl Case {
         let mesh = Mesh::square(self.side).expect("side in range");
         let config = self.config();
         let flows = self.flows(&mesh);
-        let mut sim = Simulation::new(mesh, config, &flows).expect("valid platform");
+        let buffers = BufferConfig::uniform(config.input_buffer_flits);
+        let mut sim = Simulation::with_vcs(mesh, config, &flows, &buffers, self.vc_config())
+            .expect("valid platform");
         sim.set_dense_kernel(dense);
         let report = match self.driver % 3 {
             0 => sim
@@ -154,9 +174,10 @@ proptest! {
         message_flits in 1u32..=8,
         driver in 0u32..3,
         link_cycles in 1u32..=3,
+        vcs in 1u32..=4,
         salt in 0u64..1_000,
     ) {
-        let case = Case { side, design, family, message_flits, driver, link_cycles, salt };
+        let case = Case { side, design, family, message_flits, driver, link_cycles, vcs, salt };
         let (horizon_report, horizon_stats, horizon_ports) = case.run(false);
         let (dense_report, dense_stats, dense_ports) = case.run(true);
         if horizon_report != dense_report {
@@ -187,11 +208,42 @@ fn multi_cycle_links_match_dense() {
         message_flits: 1,
         driver: 0,
         link_cycles: 2,
+        vcs: 1,
         salt: 24, // hotspot (4, 4): the single corner-to-corner-ish probe
     };
     let horizon = case.run(false);
     let dense = case.run(true);
     assert_eq!(horizon, dense, "latency-2 links diverged");
+}
+
+/// Pinned regression: the multi-VC hotspot where every ring of the ejection
+/// port is contended and the strict-priority VC arbiter interleaves worms
+/// every cycle.  Both schedulers must walk the identical per-VC credit and
+/// hold state (the horizon kernel may never fast-forward here).
+#[test]
+fn multi_vc_hotspot_matches_dense() {
+    for vcs in 2u32..=4 {
+        for salt in [24u64, 25] {
+            // salt parity flips the assignment rule (index vs distance).
+            let case = Case {
+                side: 4,
+                design: 4,
+                family: 0,
+                message_flits: 4,
+                driver: 0,
+                link_cycles: 1,
+                vcs,
+                salt,
+            };
+            let horizon = case.run(false);
+            let dense = case.run(true);
+            assert_eq!(horizon, dense, "multi-VC divergence for {case:?}");
+            assert!(
+                !horizon.0.is_empty(),
+                "the hotspot must complete probes for {case:?}"
+            );
+        }
+    }
 }
 
 /// The fast-forward-heavy corner the random sweep rarely hits hard: a single
