@@ -223,6 +223,21 @@ fn golden_expt_campaign() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// A seeded hill-climb on the banked 16×16 platform: pins the proposal
+/// stream, the accept decisions, the Pareto front, the simulator spot
+/// checks, and the closing differential sweep (incremental bounds must stay
+/// bit-identical to from-scratch oracles).  Timing lines carry `took` and
+/// are filtered.  Slow in debug, covered in release by CI.
+#[test]
+#[cfg_attr(debug_assertions, ignore = "slow in debug; run in release")]
+fn golden_expt_dse() {
+    check_golden(
+        "expt-dse",
+        env!("CARGO_BIN_EXE_expt-dse"),
+        &["--candidates", "10000", "--seed", "7"],
+    );
+}
+
 /// Depth-1 8×8 closed loops are slow in debug; covered in release by CI.
 #[test]
 #[cfg_attr(debug_assertions, ignore = "slow in debug; run in release")]

@@ -20,7 +20,7 @@ use serde::{Deserialize, Serialize};
 use wnoc_core::Result;
 use wnoc_sim::LatencyStats;
 
-use crate::scenario::{Scenario, ScenarioOutcome, TightnessSummary};
+use crate::scenario::{FlowSetCache, Scenario, ScenarioOutcome, TightnessSummary};
 
 /// The sampling space of a campaign.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -137,6 +137,11 @@ impl Campaign {
                 .map(|_| {
                     scope.spawn(|| -> Result<Vec<(usize, ScenarioOutcome)>> {
                         let mut completed = Vec::new();
+                        // Per-worker flow-set memo: samplers repeat families
+                        // (four paper placements, colliding hotspots), and
+                        // the memo skips their route and contention-count
+                        // rebuilds without any cross-thread sharing.
+                        let mut cache = FlowSetCache::new();
                         loop {
                             let index = cursor.fetch_add(1, Ordering::Relaxed);
                             let Some(scenario) = scenarios.get(index) else {
@@ -147,7 +152,7 @@ impl Campaign {
                             // the full diagnostic (a stalled simulation
                             // reports its stuck cycle and buffered-flit
                             // count) carries *which* platform wedged.
-                            let outcome = scenario.run().map_err(|error| {
+                            let outcome = scenario.run_with_cache(&mut cache).map_err(|error| {
                                 error.with_context(format!(
                                     "conformance scenario {}",
                                     scenario.label()

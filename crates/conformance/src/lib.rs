@@ -51,6 +51,6 @@ pub use fleet::{
     ShardStatus,
 };
 pub use scenario::{
-    BufferChoice, DesignChoice, Scenario, ScenarioFamily, ScenarioOutcome, TightnessSummary,
-    VcChoice, Violation,
+    BufferChoice, DesignChoice, FlowSetCache, Scenario, ScenarioFamily, ScenarioOutcome,
+    TightnessSummary, VcChoice, Violation,
 };

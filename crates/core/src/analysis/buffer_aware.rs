@@ -124,6 +124,20 @@ impl BufferAwareWcttModel {
         &self.buffers
     }
 
+    /// Mutable access to the weight table, for callers (the incremental
+    /// analysis engine) that maintain the flow counts in place via
+    /// [`WeightTable::apply_route_delta`] instead of rebuilding the model.
+    pub fn weights_mut(&mut self) -> &mut WeightTable {
+        &mut self.weights
+    }
+
+    /// Replaces the buffer configuration (a single-depth design mutation);
+    /// the model has no memoised state, so subsequent bounds are identical
+    /// to a freshly-built model over the new configuration.
+    pub fn set_buffers(&mut self, buffers: BufferConfig) {
+        self.buffers = buffers;
+    }
+
     /// The paper-form / backpressured reference model over the same weights
     /// and timing (used by the ordering checks and the sweep experiment).
     pub fn reference(&self) -> WeightedWcttModel {

@@ -30,8 +30,15 @@
 //! [`oracle`] exposes all analyses behind one [`oracle::WcttBoundModel`]
 //! trait object so the conformance harness (`wnoc-conformance`) can
 //! cross-validate the cycle-accurate simulator against every bound uniformly.
+//!
+//! [`incremental`] layers a mutation-driven term cache over all of the above:
+//! design-space exploration applies single-design mutations (move a flow,
+//! change a buffer depth, reassign VCs) and re-reads bounds that are
+//! bit-identical to freshly-built models, recomputing only the terms whose
+//! interference sets actually changed.
 
 pub mod buffer_aware;
+pub mod incremental;
 pub mod oracle;
 pub mod preemptive;
 pub mod regular;
@@ -41,13 +48,14 @@ pub mod ubd;
 pub mod weighted;
 
 pub use buffer_aware::BufferAwareWcttModel;
+pub use incremental::{Analysis, IncrementalAnalysis, Mutation};
 pub use oracle::{
-    oracle_suite, oracle_suite_with_buffers, oracle_suite_with_vcs, primary_oracle, AnalyticOnly,
-    BufferAwareOracle, RegularOracle, SlotOracle, UbdOracle, WcttBoundModel, WeightedFlavor,
-    WeightedOracle,
+    oracle_suite, oracle_suite_with_buffers, oracle_suite_with_counts, oracle_suite_with_vcs,
+    primary_oracle, AnalyticOnly, BufferAwareOracle, RegularOracle, SlotOracle, UbdOracle,
+    WcttBoundModel, WeightedFlavor, WeightedOracle,
 };
 pub use preemptive::PreemptiveOracle;
-pub use regular::RegularWcttModel;
+pub use regular::{RegularWcttModel, RouteDelta};
 pub use table::{WcttSummary, WcttTable, WcttTableRow};
 pub use ubd::UpperBoundDelay;
 pub use weighted::WeightedWcttModel;

@@ -45,7 +45,7 @@ use crate::arbitration::ArbitrationPolicy;
 use crate::buffers::BufferConfig;
 use crate::config::NocConfig;
 use crate::error::Result;
-use crate::flow::{FlowId, FlowSet};
+use crate::flow::{FlowId, FlowSet, PortCounts};
 use crate::packetization::PacketizationPolicy;
 use crate::routing::Route;
 use crate::topology::Mesh;
@@ -404,29 +404,64 @@ pub struct SlotOracle {
     contender_flits: u32,
     packetization: PacketizationPolicy,
     geometry: crate::packetization::PhitGeometry,
-    /// Flows per `(router, input, output)` pair, precomputed in one pass:
-    /// the envelope queries contention for every hop of every route, and
-    /// rescanning the flow set per query made this oracle dominate whole
-    /// conformance campaigns.
-    pair_counts: std::collections::HashMap<
-        (crate::geometry::Coord, crate::port::Port, crate::port::Port),
-        usize,
-    >,
-    /// Flows per `(router, output)` port, precomputed likewise.
-    output_counts: std::collections::HashMap<(crate::geometry::Coord, crate::port::Port), usize>,
+    /// Flows per `(router, input, output)` pair and per `(router, output)`
+    /// port: the envelope queries contention for every hop of every route,
+    /// and rescanning the flow set per query made this oracle dominate whole
+    /// conformance campaigns.  Held as the incrementally-maintainable
+    /// [`PortCounts`] so callers that already track the counts (the
+    /// conformance campaign's flow-set cache, the incremental analysis
+    /// engine) can hand them over instead of paying the O(total hops) rescan
+    /// `SlotOracle::new` performs.
+    counts: PortCounts,
 }
 
 impl SlotOracle {
-    /// Builds the envelope oracle for `flows` under `config`.
+    /// Builds the envelope oracle for `flows` under `config`, counting the
+    /// flow set's port contention in one pass.
     pub fn new(flows: &FlowSet, config: &NocConfig) -> Self {
+        Self::with_counts(flows, config, PortCounts::from_flow_set(flows))
+    }
+
+    /// Like [`SlotOracle::new`], but reusing already-maintained contention
+    /// counts (`counts` must equal `PortCounts::from_flow_set(flows)`).
+    pub fn with_counts(flows: &FlowSet, config: &NocConfig, counts: PortCounts) -> Self {
+        debug_assert_eq!(counts, PortCounts::from_flow_set(flows));
         Self {
             flows: flows.clone(),
             arbitration: config.arbitration,
             contender_flits: config.packetization.worst_case_contender_flits(),
             packetization: config.packetization,
             geometry: config.geometry,
-            pair_counts: flows.port_pair_count_map(),
-            output_counts: flows.output_count_map(),
+            counts,
+        }
+    }
+
+    /// Appends one flow to the oracle's set, updating the contention counts
+    /// by delta instead of rescanning.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `src == dst` or either node lies outside the mesh.
+    pub fn push_flow(
+        &mut self,
+        src: crate::geometry::NodeId,
+        dst: crate::geometry::NodeId,
+    ) -> Result<FlowId> {
+        let id = self.flows.push_pair(src, dst)?;
+        let route = self.flows.route(id).expect("just pushed");
+        self.counts.add_route(route);
+        Ok(id)
+    }
+
+    /// Removes the last flow of the oracle's set (the inverse of
+    /// [`SlotOracle::push_flow`]), updating the contention counts by delta.
+    pub fn pop_flow(&mut self) -> bool {
+        match self.flows.pop() {
+            Some((_flow, route)) => {
+                self.counts.remove_route(&route);
+                true
+            }
+            None => false,
         }
     }
 
@@ -443,21 +478,15 @@ impl SlotOracle {
                         .filter(|&&p| {
                             p != hop.input
                                 && p != hop.output
-                                && self
-                                    .pair_counts
-                                    .get(&(hop.router, p, hop.output))
-                                    .is_some_and(|&count| count > 0)
+                                && self.counts.pair_count(hop.router, p, hop.output) > 0
                         })
                         .count() as u32;
                     others + 1
                 }
                 // WaW shares the port between the flows using it.
-                ArbitrationPolicy::Waw => self
-                    .output_counts
-                    .get(&(hop.router, hop.output))
-                    .copied()
-                    .unwrap_or(0)
-                    .max(1) as u32,
+                ArbitrationPolicy::Waw => {
+                    self.counts.output_count(hop.router, hop.output).max(1) as u32
+                }
             };
             worst = worst.max(slot::contended_port_latency(
                 contenders,
@@ -618,6 +647,33 @@ pub fn oracle_suite_with_vcs(
     buffers: &BufferConfig,
     vcs: VcConfig,
 ) -> Result<Vec<Box<dyn WcttBoundModel>>> {
+    oracle_suite_with_counts(
+        flows,
+        config,
+        mesh,
+        buffers,
+        vcs,
+        PortCounts::from_flow_set(flows),
+    )
+}
+
+/// [`oracle_suite_with_vcs`] reusing already-maintained contention counts
+/// (`counts` must equal `PortCounts::from_flow_set(flows)`), so callers that
+/// keep the counts up to date by delta — the conformance campaign's flow-set
+/// cache — skip the slot envelope's O(total hops) rescan.
+///
+/// # Errors
+///
+/// Returns an error if the configuration is invalid or `buffers` does not
+/// cover `mesh`.
+pub fn oracle_suite_with_counts(
+    flows: &FlowSet,
+    config: &NocConfig,
+    mesh: Mesh,
+    buffers: &BufferConfig,
+    vcs: VcConfig,
+    counts: PortCounts,
+) -> Result<Vec<Box<dyn WcttBoundModel>>> {
     config.validate()?;
     buffers.validate(&mesh)?;
     let default_buffers = buffers.is_uniform_depth(config.input_buffer_flits);
@@ -642,7 +698,7 @@ pub fn oracle_suite_with_vcs(
                 gate(regular, classic),
                 gate(UbdOracle::new(flows, config)?, classic),
                 Box::new(PreemptiveOracle::new(flows, config, buffers, vcs)),
-                Box::new(SlotOracle::new(flows, config)),
+                Box::new(SlotOracle::with_counts(flows, config, counts)),
             ])
         }
         ArbitrationPolicy::Waw => {
@@ -664,7 +720,7 @@ pub fn oracle_suite_with_vcs(
                 ]
             };
             suite.push(Box::new(UbdOracle::new(flows, config)?));
-            suite.push(Box::new(SlotOracle::new(flows, config)));
+            suite.push(Box::new(SlotOracle::with_counts(flows, config, counts)));
             Ok(suite)
         }
     }

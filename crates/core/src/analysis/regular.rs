@@ -39,14 +39,39 @@
 //! orders-of-magnitude WCTT blow-up with network size that Table II of the
 //! paper reports for the regular mesh.
 
-use std::collections::HashMap;
-
 use crate::config::RouterTiming;
 use crate::flow::FlowSet;
 use crate::geometry::Coord;
-use crate::port::Port;
+use crate::port::{Direction, Port};
 use crate::routing::Route;
 use crate::topology::Mesh;
+
+/// A `(router, output)` pair: simultaneously the key of one memoised drain
+/// term and the granularity at which the model's reads of the contention map
+/// are tracked (every read — the presence tests of the drain recursion and
+/// [`RegularWcttModel::contender_count`] — only inspects triples
+/// `(router, *, output)` of a single such column).
+pub type DrainKey = (Coord, Port);
+
+/// What one incremental contention update changed, as reported by
+/// [`RegularWcttModel::apply_route_delta`].
+///
+/// A cached per-flow bound computed from this model stays valid exactly when
+/// the flow's read set — the `(router, output)` column of every hop of its
+/// route — intersects neither list.
+#[derive(Debug, Clone, Default)]
+pub struct RouteDelta {
+    /// Columns whose pair-count *support* flipped between zero and non-zero.
+    /// The model's arithmetic only ever reads counts through presence tests,
+    /// so magnitude-only changes (2 flows → 3 flows on a triple) leave every
+    /// term untouched and appear in neither list.
+    pub flipped_columns: Vec<DrainKey>,
+    /// Memoised drain terms dropped by the invalidation closure: the terms
+    /// whose recorded reads a flipped pair can affect, plus (transitively)
+    /// every term that embedded one of those.  They are recomputed lazily on
+    /// next use.
+    pub dropped_drains: Vec<DrainKey>,
+}
 
 /// Memoised evaluator of the chained-blocking WCTT bound for a regular
 /// round-robin wormhole mesh.
@@ -77,9 +102,14 @@ pub struct RegularWcttModel {
     timing: RouterTiming,
     /// Maximum packet size contenders may use (the paper's `L`), in flits.
     contender_flits: u32,
-    /// Number of flows using each (router, input, output) triple.
-    pair_flows: HashMap<(Coord, Port, Port), u32>,
-    drain_memo: HashMap<(Coord, Port), u64>,
+    /// Number of flows using each (router, input, output) triple, densely
+    /// indexed `node · 25 + input · 5 + output` (see
+    /// [`RegularWcttModel::pair_index`]).
+    pair_flows: Vec<u32>,
+    /// Memoised drain terms, densely indexed `node · 5 + output`.  `None`
+    /// doubles as the visited marker of the invalidation walk, so dropping a
+    /// term and checking whether it was live is one `Option::take`.
+    drain_memo: Vec<Option<u64>>,
 }
 
 impl RegularWcttModel {
@@ -88,23 +118,32 @@ impl RegularWcttModel {
     /// `L`).
     pub fn new(flows: &FlowSet, timing: RouterTiming, contender_flits: u32) -> Self {
         let mesh = *flows.mesh();
-        let mut pair_flows = HashMap::new();
-        for id in (0..flows.len()).map(crate::flow::FlowId) {
-            if let Some(route) = flows.route(id) {
-                for hop in route.hops() {
-                    *pair_flows
-                        .entry((hop.router, hop.input, hop.output))
-                        .or_insert(0) += 1;
-                }
-            }
-        }
-        Self {
+        let nodes = mesh.router_count();
+        let mut model = Self {
             mesh,
             timing,
             contender_flits: contender_flits.max(1),
-            pair_flows,
-            drain_memo: HashMap::new(),
+            pair_flows: vec![0; nodes * Port::COUNT * Port::COUNT],
+            drain_memo: vec![None; nodes * Port::COUNT],
+        };
+        for id in (0..flows.len()).map(crate::flow::FlowId) {
+            if let Some(route) = flows.route(id) {
+                for hop in route.hops() {
+                    let idx = model.pair_index(hop.router, hop.input, hop.output);
+                    model.pair_flows[idx] += 1;
+                }
+            }
         }
+        model
+    }
+
+    /// Alias of [`RegularWcttModel::new`], kept for the incremental analysis
+    /// engine.  The read-dependency structure of the drain recursion is static
+    /// — which terms *can* read a contention triple is a property of the mesh
+    /// alone — so surgical invalidation needs no recorded bookkeeping and
+    /// every model supports [`RegularWcttModel::apply_route_delta`].
+    pub fn new_tracking(flows: &FlowSet, timing: RouterTiming, contender_flits: u32) -> Self {
+        Self::new(flows, timing, contender_flits)
     }
 
     /// The maximum packet size assumed for contenders.
@@ -112,13 +151,28 @@ impl RegularWcttModel {
         self.contender_flits
     }
 
+    /// Dense index of a coordinate in row-major node order.
+    #[inline]
+    fn node_index(&self, router: Coord) -> usize {
+        usize::from(router.y) * usize::from(self.mesh.width()) + usize::from(router.x)
+    }
+
+    /// Dense index of a `(router, input, output)` contention triple.
+    #[inline]
+    fn pair_index(&self, router: Coord, input: Port, output: Port) -> usize {
+        (self.node_index(router) * Port::COUNT + input.index()) * Port::COUNT + output.index()
+    }
+
+    /// Dense index of a memoised `(router, output)` drain term.
+    #[inline]
+    fn drain_index(&self, router: Coord, output: Port) -> usize {
+        self.node_index(router) * Port::COUNT + output.index()
+    }
+
     /// Number of flows of the platform that traverse `router` from `input` to
     /// `output`.
     pub fn pair_flows(&self, router: Coord, input: Port, output: Port) -> u32 {
-        self.pair_flows
-            .get(&(router, input, output))
-            .copied()
-            .unwrap_or(0)
+        self.pair_flows[self.pair_index(router, input, output)]
     }
 
     /// Number of input ports other than `input` that carry at least one flow
@@ -135,7 +189,8 @@ impl RegularWcttModel {
     /// completely clear output `output` of `router`, including any downstream
     /// chained blocking of that packet.
     pub fn drain_time(&mut self, router: Coord, output: Port) -> u64 {
-        if let Some(&d) = self.drain_memo.get(&(router, output)) {
+        let di = self.drain_index(router, output);
+        if let Some(d) = self.drain_memo[di] {
             return d;
         }
         let timing = self.timing;
@@ -163,8 +218,101 @@ impl RegularWcttModel {
                 }
             },
         };
-        self.drain_memo.insert((router, output), value);
+        self.drain_memo[di] = Some(value);
         value
+    }
+
+    /// Applies one route's hops to the contention map (`add` inserts the
+    /// flow, `!add` removes a previously-added one) and drops exactly the
+    /// memoised drain terms whose reads the change can affect.
+    ///
+    /// Which terms a contention triple can reach is static: the drain at
+    /// `(r, Mesh(dir))` reads only triples of its downstream neighbour
+    /// `next = neighbor(r, dir)` — presence tests on the arrival row
+    /// `(next, Mesh(dir.opposite()), ·)` unconditionally, contender counts
+    /// `(next, p, o)` and child terms `(next, o)` only for outputs `o` the
+    /// arrival row supports.  So a support flip of `(router, input, output)`
+    /// invalidates the one neighbour drain arriving through `input` plus the
+    /// neighbour drains whose arrival row supports `output`, and invalidation
+    /// propagates upstream only along rows that carry traffic.  Bounds
+    /// queried after the call are bit-identical to a model freshly
+    /// constructed over the mutated flow set: a surviving memo entry read
+    /// only supports and child terms that provably did not change, and
+    /// dropped entries are recomputed from scratch on demand.
+    pub fn apply_route_delta(&mut self, route: &Route, add: bool) -> RouteDelta {
+        let mut delta = RouteDelta::default();
+        let mut flipped_pairs: Vec<(Coord, Port, Port)> = Vec::new();
+        for hop in route.hops() {
+            let idx = self.pair_index(hop.router, hop.input, hop.output);
+            let before = self.pair_flows[idx];
+            let after = if add {
+                before + 1
+            } else {
+                debug_assert!(before > 0, "removing a route that was never added");
+                before.saturating_sub(1)
+            };
+            self.pair_flows[idx] = after;
+            if (before == 0) != (after == 0) {
+                flipped_pairs.push((hop.router, hop.input, hop.output));
+                let column = (hop.router, hop.output);
+                if !delta.flipped_columns.contains(&column) {
+                    delta.flipped_columns.push(column);
+                }
+            }
+        }
+        for &(router, input, output) in &flipped_pairs {
+            // The one drain whose presence tests touch this triple directly:
+            // the neighbour drain arriving through `input`.  (A local input
+            // is never an arrival port, so it has no direct reader.)
+            if let Port::Mesh(d) = input {
+                if let Some(upstream) = self.mesh.neighbor(router, d) {
+                    self.invalidate_drain(
+                        (upstream, Port::Mesh(d.opposite())),
+                        &mut delta.dropped_drains,
+                    );
+                }
+            }
+            // Drains that saw the triple only inside a contender count: the
+            // other neighbour drains, but only if their own arrival row
+            // supports `output` (rows that flipped themselves are already
+            // covered by the direct rule above).
+            for d in Direction::ALL {
+                if Port::Mesh(d) == input {
+                    continue;
+                }
+                if self.pair_flows(router, Port::Mesh(d), output) == 0 {
+                    continue;
+                }
+                if let Some(upstream) = self.mesh.neighbor(router, d) {
+                    self.invalidate_drain(
+                        (upstream, Port::Mesh(d.opposite())),
+                        &mut delta.dropped_drains,
+                    );
+                }
+            }
+        }
+        delta
+    }
+
+    /// Drops one memoised drain term and recursively drops every term that
+    /// embedded its value: the neighbour drains whose arrival row supports
+    /// this term's output.  The memo entry doubles as the visited marker, so
+    /// the walk touches each live term at most once.
+    fn invalidate_drain(&mut self, key: DrainKey, dropped: &mut Vec<DrainKey>) {
+        let di = self.drain_index(key.0, key.1);
+        if self.drain_memo[di].take().is_none() {
+            return;
+        }
+        dropped.push(key);
+        let (router, output) = key;
+        for d in Direction::ALL {
+            if self.pair_flows(router, Port::Mesh(d), output) == 0 {
+                continue;
+            }
+            if let Some(upstream) = self.mesh.neighbor(router, d) {
+                self.invalidate_drain((upstream, Port::Mesh(d.opposite())), dropped);
+            }
+        }
     }
 
     /// Worst-case time a packet entering `router` through `input` waits for
@@ -377,6 +525,45 @@ mod tests {
         let one = model.route_wctt(&r, 1);
         let four = model.route_wctt(&r, 4);
         assert_eq!(four - one, 3);
+    }
+
+    #[test]
+    fn apply_route_delta_matches_fresh_model() {
+        let (_mesh, flows) = all_to_memory(5);
+        let mut tracked = RegularWcttModel::new_tracking(&flows, RouterTiming::CANONICAL, 4);
+        // Warm every memoised term before mutating.
+        for id in (0..flows.len()).map(crate::flow::FlowId) {
+            let r = flows.route(id).unwrap().clone();
+            tracked.route_wctt(&r, 4);
+        }
+        let mut reduced = flows.clone();
+        let (_flow, removed_route) = reduced.pop().unwrap();
+        tracked.apply_route_delta(&removed_route, false);
+        let mut fresh = RegularWcttModel::new(&reduced, RouterTiming::CANONICAL, 4);
+        for id in (0..reduced.len()).map(crate::flow::FlowId) {
+            let r = reduced.route(id).unwrap().clone();
+            assert_eq!(tracked.route_wctt(&r, 4), fresh.route_wctt(&r, 4));
+        }
+        // Re-adding the flow restores the original bounds bit-for-bit.
+        tracked.apply_route_delta(&removed_route, true);
+        let mut original = RegularWcttModel::new(&flows, RouterTiming::CANONICAL, 4);
+        for id in (0..flows.len()).map(crate::flow::FlowId) {
+            let r = flows.route(id).unwrap().clone();
+            assert_eq!(tracked.route_wctt(&r, 4), original.route_wctt(&r, 4));
+        }
+    }
+
+    #[test]
+    fn magnitude_only_delta_drops_nothing() {
+        let (mesh, flows) = all_to_memory(4);
+        let mut tracked = RegularWcttModel::new_tracking(&flows, RouterTiming::CANONICAL, 4);
+        tracked.route_wctt(&route(&mesh, (3, 3), (0, 0)), 4);
+        // Duplicating an existing flow only raises counts on triples that
+        // already have support: nothing flips, so no term is dropped.
+        let duplicate = route(&mesh, (3, 1), (0, 0));
+        let delta = tracked.apply_route_delta(&duplicate, true);
+        assert!(delta.flipped_columns.is_empty());
+        assert!(delta.dropped_drains.is_empty());
     }
 
     #[test]

@@ -78,6 +78,13 @@ impl WeightedWcttModel {
         &self.weights
     }
 
+    /// Mutable access to the weight table, for callers (the incremental
+    /// analysis engine) that maintain the flow counts in place via
+    /// [`WeightTable::apply_route_delta`] instead of rebuilding the model.
+    pub fn weights_mut(&mut self) -> &mut WeightTable {
+        &mut self.weights
+    }
+
     /// The slice size `m` in flits.
     pub fn slice_flits(&self) -> u32 {
         self.slice_flits

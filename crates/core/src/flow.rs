@@ -328,6 +328,150 @@ impl FlowSet {
         }
         map
     }
+
+    /// The (source, destination) pairs of the set, in flow-id order — the
+    /// exact argument that rebuilds this set through [`FlowSet::from_pairs`].
+    pub fn pairs(&self) -> Vec<(NodeId, NodeId)> {
+        self.flows.iter().map(|f| (f.src, f.dst)).collect()
+    }
+
+    /// Appends one flow to the set, routing it with XY routing.  The new flow
+    /// takes the next dense [`FlowId`]; the resulting set is identical to
+    /// rebuilding via [`FlowSet::from_pairs`] with the pair appended.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `src == dst` or either node lies outside the mesh.
+    pub fn push_pair(&mut self, src: NodeId, dst: NodeId) -> Result<FlowId> {
+        let flow = Flow::new(src, dst)?;
+        let src_c = self.mesh.coord_of(src)?;
+        let dst_c = self.mesh.coord_of(dst)?;
+        let route = XyRouting.route(&self.mesh, src_c, dst_c)?;
+        self.flows.push(flow);
+        self.routes.push(route);
+        Ok(FlowId(self.flows.len() - 1))
+    }
+
+    /// Removes and returns the last flow of the set together with its route
+    /// (the inverse of [`FlowSet::push_pair`]), or `None` if the set is empty.
+    pub fn pop(&mut self) -> Option<(Flow, Route)> {
+        let flow = self.flows.pop()?;
+        let route = self.routes.pop().expect("flows and routes stay in step");
+        Some((flow, route))
+    }
+
+    /// Replaces the flow at `id` with `(src, dst)`, re-routing it with XY
+    /// routing, and returns the route the flow previously followed.  Every
+    /// other flow keeps its id: the resulting set is identical to rebuilding
+    /// via [`FlowSet::from_pairs`] with the pair swapped in place.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `id` is out of range, `src == dst`, or either node
+    /// lies outside the mesh.
+    pub fn replace_pair(&mut self, id: FlowId, src: NodeId, dst: NodeId) -> Result<Route> {
+        if id.0 >= self.flows.len() {
+            return Err(Error::InvalidConfig {
+                reason: format!("flow {id} out of range (set holds {})", self.flows.len()),
+            });
+        }
+        let flow = Flow::new(src, dst)?;
+        let src_c = self.mesh.coord_of(src)?;
+        let dst_c = self.mesh.coord_of(dst)?;
+        let route = XyRouting.route(&self.mesh, src_c, dst_c)?;
+        self.flows[id.0] = flow;
+        Ok(std::mem::replace(&mut self.routes[id.0], route))
+    }
+}
+
+/// Per-port contention counts of a [`FlowSet`], maintained **incrementally**
+/// as flows are added and removed instead of rescanned from scratch.
+///
+/// Holds exactly the two maps the analyses consume — flows per
+/// `(router, input, output)` pair ([`FlowSet::port_pair_count_map`]) and per
+/// `(router, output)` port ([`FlowSet::output_count_map`]) — with the
+/// invariant that zero-count entries are *removed*, so the maps stay equal
+/// (as `HashMap` values) to freshly-built ones after any sequence of
+/// [`PortCounts::add_route`] / [`PortCounts::remove_route`] calls.
+///
+/// The slot envelope ([`crate::analysis::SlotOracle`]), the incremental
+/// analysis engine ([`crate::analysis::incremental`]) and the conformance
+/// campaign's flow-set cache all share this structure, which is what lets a
+/// single-flow mutation skip the O(total hops) rescan `SlotOracle::new`
+/// historically paid on every construction.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PortCounts {
+    pairs: HashMap<(Coord, Port, Port), usize>,
+    outputs: HashMap<(Coord, Port), usize>,
+}
+
+impl PortCounts {
+    /// Builds the counts of `flows` in one pass (equivalent to folding
+    /// [`PortCounts::add_route`] over every route).
+    pub fn from_flow_set(flows: &FlowSet) -> Self {
+        let mut counts = Self::default();
+        for route in &flows.routes {
+            counts.add_route(route);
+        }
+        counts
+    }
+
+    /// Registers one route's hops.
+    pub fn add_route(&mut self, route: &Route) {
+        for hop in route.hops() {
+            *self
+                .pairs
+                .entry((hop.router, hop.input, hop.output))
+                .or_insert(0) += 1;
+            *self.outputs.entry((hop.router, hop.output)).or_insert(0) += 1;
+        }
+    }
+
+    /// Removes one previously-registered route's hops.  Entries that reach
+    /// zero are deleted so the maps remain equal to fresh construction.
+    pub fn remove_route(&mut self, route: &Route) {
+        for hop in route.hops() {
+            let pair_key = (hop.router, hop.input, hop.output);
+            if let Some(count) = self.pairs.get_mut(&pair_key) {
+                *count -= 1;
+                if *count == 0 {
+                    self.pairs.remove(&pair_key);
+                }
+            } else {
+                debug_assert!(false, "removing a route that was never added");
+            }
+            let out_key = (hop.router, hop.output);
+            if let Some(count) = self.outputs.get_mut(&out_key) {
+                *count -= 1;
+                if *count == 0 {
+                    self.outputs.remove(&out_key);
+                }
+            }
+        }
+    }
+
+    /// Flows traversing `router` from `input` to `output`.
+    pub fn pair_count(&self, router: Coord, input: Port, output: Port) -> usize {
+        self.pairs
+            .get(&(router, input, output))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Flows leaving `router` through `output`.
+    pub fn output_count(&self, router: Coord, output: Port) -> usize {
+        self.outputs.get(&(router, output)).copied().unwrap_or(0)
+    }
+
+    /// The pair-count map (equal to [`FlowSet::port_pair_count_map`]).
+    pub fn pair_map(&self) -> &HashMap<(Coord, Port, Port), usize> {
+        &self.pairs
+    }
+
+    /// The output-count map (equal to [`FlowSet::output_count_map`]).
+    pub fn output_map(&self) -> &HashMap<(Coord, Port), usize> {
+        &self.outputs
+    }
 }
 
 /// The paper's `I_dir` equations (Section III): number of **source nodes** whose

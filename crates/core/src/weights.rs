@@ -186,6 +186,48 @@ impl WeightTable {
         pairs
     }
 
+    /// Applies one route's hops to the table (`add` registers the flow, `!add`
+    /// removes a previously-registered one), returning the `(router, output)`
+    /// ports whose flow count changed.  Entries reaching zero are deleted, so
+    /// the table stays equal to one rebuilt by
+    /// [`WeightTable::from_flow_set`] over the mutated flow set.
+    ///
+    /// The weighted analyses read flow counts by magnitude, so — unlike the
+    /// support-only invalidation of the regular model — every hop of the
+    /// route appears in the returned list.
+    pub fn apply_route_delta(
+        &mut self,
+        route: &crate::routing::Route,
+        add: bool,
+    ) -> Vec<(Coord, Port)> {
+        let mut changed = Vec::with_capacity(route.hops().len());
+        for hop in route.hops() {
+            let pair_key = (hop.router, hop.input, hop.output);
+            let out_key = (hop.router, hop.output);
+            if add {
+                *self.quotas.entry(pair_key).or_insert(0) += 1;
+                *self.outputs.entry(out_key).or_insert(0) += 1;
+            } else {
+                if let Some(q) = self.quotas.get_mut(&pair_key) {
+                    *q = q.saturating_sub(1);
+                    if *q == 0 {
+                        self.quotas.remove(&pair_key);
+                    }
+                } else {
+                    debug_assert!(false, "removing a route that was never added");
+                }
+                if let Some(o) = self.outputs.get_mut(&out_key) {
+                    *o = o.saturating_sub(1);
+                    if *o == 0 {
+                        self.outputs.remove(&out_key);
+                    }
+                }
+            }
+            changed.push(out_key);
+        }
+        changed
+    }
+
     /// The paper's closed-form weight `I_diri / O_diro` from the Section III
     /// source-count equations, provided for comparison and for reproducing
     /// Table I directly from the formulas.
@@ -396,6 +438,46 @@ mod tests {
         for (input, output, quota) in &pairs {
             assert_eq!(w.quota(center, *input, *output), *quota);
             assert!(*quota > 0);
+        }
+    }
+
+    #[test]
+    fn apply_route_delta_matches_rebuild() {
+        let mesh = Mesh::square(4).unwrap();
+        let full = FlowSet::all_to_one(&mesh, Coord::from_row_col(0, 0)).unwrap();
+        let mut reduced = full.clone();
+        let (_flow, removed_route) = reduced.pop().unwrap();
+        // Removing the last flow's route leaves the table of the reduced set.
+        let mut table = WeightTable::from_flow_set(&full);
+        let changed = table.apply_route_delta(&removed_route, false);
+        assert_eq!(changed.len(), removed_route.hops().len());
+        let rebuilt = WeightTable::from_flow_set(&reduced);
+        for router in mesh.routers() {
+            for input in Port::ALL {
+                for output in Port::ALL {
+                    assert_eq!(
+                        table.quota(router, input, output),
+                        rebuilt.quota(router, input, output)
+                    );
+                }
+                assert_eq!(
+                    table.output_flows(router, input),
+                    rebuilt.output_flows(router, input)
+                );
+            }
+        }
+        // Re-adding restores the full table.
+        table.apply_route_delta(&removed_route, true);
+        let original = WeightTable::from_flow_set(&full);
+        for router in mesh.routers() {
+            for input in Port::ALL {
+                for output in Port::ALL {
+                    assert_eq!(
+                        table.quota(router, input, output),
+                        original.quota(router, input, output)
+                    );
+                }
+            }
         }
     }
 

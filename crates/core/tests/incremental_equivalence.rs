@@ -1,0 +1,204 @@
+//! Differential equivalence: the incremental analysis engine must stay
+//! bit-identical to freshly-constructed oracles across arbitrary mutation
+//! sequences — the correctness pin behind the `expt-dse` driver, which trusts
+//! the engine for millions of candidates and only spot-verifies a handful in
+//! the simulator.
+
+use proptest::prelude::*;
+
+use wnoc_core::analysis::incremental::{Analysis, IncrementalAnalysis, Mutation};
+use wnoc_core::analysis::oracle_suite_with_vcs;
+use wnoc_core::buffers::BufferConfig;
+use wnoc_core::config::NocConfig;
+use wnoc_core::flow::FlowSet;
+use wnoc_core::geometry::Coord;
+use wnoc_core::port::Port;
+use wnoc_core::topology::Mesh;
+use wnoc_core::vc::{VcAssignment, VcConfig};
+use wnoc_core::{FlowId, NodeId};
+
+/// Deterministic splittable generator for mutation sequences (xorshift64*).
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+
+    fn below(&mut self, bound: u64) -> u64 {
+        self.next() % bound.max(1)
+    }
+}
+
+/// The mirror of the engine's design state, rebuilt from scratch for every
+/// comparison: flow endpoints, buffer plan and VC plan.
+struct Mirror {
+    mesh: Mesh,
+    pairs: Vec<(NodeId, NodeId)>,
+    buffers: BufferConfig,
+    vcs: VcConfig,
+}
+
+impl Mirror {
+    fn apply(&mut self, mutation: &Mutation) {
+        match *mutation {
+            Mutation::MoveFlow { id, src, dst } => self.pairs[id.0] = (src, dst),
+            Mutation::AddFlow { src, dst } => self.pairs.push((src, dst)),
+            Mutation::RemoveLastFlow => {
+                self.pairs.pop();
+            }
+            Mutation::SetBufferDepth { node, port, depth } => {
+                self.buffers = self
+                    .buffers
+                    .with_buffer_depth(&self.mesh, node, port, depth);
+            }
+            Mutation::SetVcs(vcs) => self.vcs = vcs,
+        }
+    }
+}
+
+/// Draws one applicable mutation for the current design state.
+fn draw_mutation(rng: &mut Rng, mesh: &Mesh, flow_count: usize) -> Mutation {
+    let nodes = mesh.router_count() as u64;
+    let endpoint_pair = |rng: &mut Rng| loop {
+        let src = NodeId(rng.below(nodes) as usize);
+        let dst = NodeId(rng.below(nodes) as usize);
+        if src != dst {
+            return (src, dst);
+        }
+    };
+    loop {
+        match rng.below(8) {
+            // Placement moves dominate the pool, mirroring the DSE driver.
+            0..=2 => {
+                if flow_count == 0 {
+                    continue;
+                }
+                let id = FlowId(rng.below(flow_count as u64) as usize);
+                let (src, dst) = endpoint_pair(rng);
+                return Mutation::MoveFlow { id, src, dst };
+            }
+            3 => {
+                let (src, dst) = endpoint_pair(rng);
+                return Mutation::AddFlow { src, dst };
+            }
+            4 => {
+                if flow_count <= 1 {
+                    continue;
+                }
+                return Mutation::RemoveLastFlow;
+            }
+            5..=6 => {
+                let node = NodeId(rng.below(nodes) as usize);
+                let port = Port::ALL[rng.below(Port::ALL.len() as u64) as usize];
+                let depth = 1 + rng.below(8) as u32;
+                return Mutation::SetBufferDepth { node, port, depth };
+            }
+            _ => {
+                let count = 1 + rng.below(4) as u32;
+                let assignment = if rng.below(2) == 0 {
+                    VcAssignment::FlowIndex
+                } else {
+                    VcAssignment::Distance
+                };
+                return Mutation::SetVcs(VcConfig::new(count, assignment).unwrap());
+            }
+        }
+    }
+}
+
+/// Asserts every bound the engine exports for `ids` equals the corresponding
+/// freshly-built oracle's, bit for bit.
+fn assert_matches_scratch(engine: &mut IncrementalAnalysis, mirror: &Mirror, ids: &[FlowId]) {
+    let flows = FlowSet::from_pairs(&mirror.mesh, mirror.pairs.iter().copied()).unwrap();
+    let config = *engine.config();
+    let mut suite =
+        oracle_suite_with_vcs(&flows, &config, mirror.mesh, &mirror.buffers, mirror.vcs).unwrap();
+    for oracle in &mut suite {
+        let analysis = Analysis::from_name(oracle.name())
+            .unwrap_or_else(|| panic!("unmapped oracle {}", oracle.name()));
+        for &id in ids {
+            for size in [1u32, 3, 8, 17] {
+                assert_eq!(
+                    engine.packet_bound(analysis, id, size),
+                    oracle.packet_bound(id, size),
+                    "packet_bound diverged: {} flow {id} size {size}",
+                    oracle.name()
+                );
+                assert_eq!(
+                    engine.message_bound(analysis, id, size),
+                    oracle.message_bound(id, size),
+                    "message_bound diverged: {} flow {id} size {size}",
+                    oracle.name()
+                );
+            }
+        }
+    }
+}
+
+fn run_sequence(side: u16, config: NocConfig, seed: u64, mutation_count: usize) {
+    let mesh = Mesh::square(side).unwrap();
+    let flows = FlowSet::all_to_one(&mesh, Coord::from_row_col(0, 0)).unwrap();
+    let buffers = BufferConfig::uniform(config.input_buffer_flits);
+    let mut engine =
+        IncrementalAnalysis::new(&flows, &config, &buffers, VcConfig::single()).unwrap();
+    let mut mirror = Mirror {
+        mesh,
+        pairs: flows.pairs(),
+        buffers,
+        vcs: VcConfig::single(),
+    };
+    let mut rng = Rng(seed | 1);
+    for step in 0..mutation_count {
+        let mutation = draw_mutation(&mut rng, &mesh, mirror.pairs.len());
+        engine.apply(&mutation).unwrap();
+        mirror.apply(&mutation);
+        assert_eq!(
+            engine.flows().pairs(),
+            mirror.pairs,
+            "state diverged at step {step}"
+        );
+        // Spot-check one flow after every mutation (catches stale-cache bugs
+        // that a later mutation would mask)...
+        if !mirror.pairs.is_empty() {
+            let probe = FlowId(rng.below(mirror.pairs.len() as u64) as usize);
+            assert_matches_scratch(&mut engine, &mirror, &[probe]);
+        }
+    }
+    // ...and sweep every flow after the full sequence.
+    let all: Vec<FlowId> = (0..mirror.pairs.len()).map(FlowId).collect();
+    assert_matches_scratch(&mut engine, &mirror, &all);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// 1–50 random mutations over a random design, round-robin arbitration:
+    /// every suite bound stays bit-identical to from-scratch construction,
+    /// including multi-VC states whose preemptive bounds saturate to
+    /// `SATURATION_SENTINEL`.
+    #[test]
+    fn incremental_equivalence_round_robin(
+        side in 3u16..6,
+        seed in any::<u64>(),
+        mutations in 1usize..=50,
+    ) {
+        run_sequence(side, NocConfig::regular(4), seed, mutations);
+    }
+
+    /// Same pin for the WaW + WaP stack (weighted, backpressured,
+    /// buffer-aware, UBD and slot oracles).
+    #[test]
+    fn incremental_equivalence_waw(
+        side in 3u16..6,
+        seed in any::<u64>(),
+        mutations in 1usize..=50,
+    ) {
+        run_sequence(side, NocConfig::waw_wap(), seed, mutations);
+    }
+}
