@@ -1,0 +1,22 @@
+//! Bound-vs-burst sweep (`Bu1`): arrival phasing as a first-class axis.
+//!
+//! Sweeps the arrival-curve burst depth {0, 1, 2, 4, 6} (plus a jittered
+//! point) over the all-to-one hotspot platform on the 4×4 and 8×8 meshes
+//! under the WaW + WaP design, printing observed open-loop end-to-end worst
+//! latencies next to the buffer-aware base bound and the graph-based
+//! buffer-aware bound, then replays the recorded EEMBC and avionics workload
+//! traces through the same open-loop driver (see `wnoc_bench::bursty_sweep`).
+//! No arguments; the output is fully deterministic and
+//! golden-snapshot-tested.
+
+use wnoc_bench::bursty_sweep::BurstySweepTable;
+
+fn main() {
+    match BurstySweepTable::generate() {
+        Ok(table) => print!("{}", table.render()),
+        Err(error) => {
+            eprintln!("bursty sweep failed: {error}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -4,7 +4,8 @@
 //! report byte-identical to the single-process `expt-conformance` run.
 //!
 //! Usage: `expt-campaign --dir DIR [--scenarios N] [--seed S] [--shards K]
-//!                       [--workers W] [--buffer-depths | --vc-sweep]
+//!                       [--workers W]
+//!                       [--buffer-depths | --vc-sweep | --bursty-sweep]
 //!                       [--report PATH] [--fresh] [--halt-after-shards N]`
 //!
 //! Exit codes: 0 on a clean pass, 1 on violations or campaign errors, 2 on
@@ -50,6 +51,7 @@ fn main() {
     let mut workers: usize = default_parallelism;
     let mut buffer_depths = false;
     let mut vc_sweep = false;
+    let mut bursty_sweep = false;
     let mut report_path: Option<String> = None;
     let mut fresh = false;
     let mut halt_after: Option<usize> = None;
@@ -78,6 +80,7 @@ fn main() {
             }
             "--buffer-depths" => buffer_depths = true,
             "--vc-sweep" => vc_sweep = true,
+            "--bursty-sweep" => bursty_sweep = true,
             "--report" => report_path = Some(value("--report")),
             "--fresh" => fresh = true,
             "--halt-after-shards" => {
@@ -98,7 +101,8 @@ fn main() {
                 eprintln!(
                     "unknown argument {unknown}; usage: \
                      expt-campaign --dir DIR [--scenarios N] [--seed S] \
-                     [--shards K] [--workers W] [--buffer-depths | --vc-sweep] \
+                     [--shards K] [--workers W] \
+                     [--buffer-depths | --vc-sweep | --bursty-sweep] \
                      [--report PATH] [--fresh] [--halt-after-shards N]\n\
                      exit codes: 0 pass, 1 violations or campaign error, \
                      2 usage error, 3 halted early by --halt-after-shards \
@@ -112,8 +116,13 @@ fn main() {
         eprintln!("expt-campaign requires --dir DIR (the campaign checkpoint directory)");
         std::process::exit(2);
     };
-    if buffer_depths && vc_sweep {
-        eprintln!("--buffer-depths and --vc-sweep are mutually exclusive");
+    if [buffer_depths, vc_sweep, bursty_sweep]
+        .iter()
+        .filter(|&&f| f)
+        .count()
+        > 1
+    {
+        eprintln!("--buffer-depths, --vc-sweep and --bursty-sweep are mutually exclusive");
         std::process::exit(2);
     }
 
@@ -121,6 +130,8 @@ fn main() {
         Campaign::buffer_sweep(seed, scenarios)
     } else if vc_sweep {
         Campaign::vc_sweep(seed, scenarios)
+    } else if bursty_sweep {
+        Campaign::bursty_sweep(seed, scenarios)
     } else {
         Campaign::new(seed, scenarios)
     };
@@ -165,6 +176,9 @@ fn main() {
         }
         if vc_sweep {
             command.arg("--vc-sweep");
+        }
+        if bursty_sweep {
+            command.arg("--bursty-sweep");
         }
         command.spawn()
     };

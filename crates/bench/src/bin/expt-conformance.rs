@@ -3,14 +3,17 @@
 //! the parallel campaign runner.
 //!
 //! Usage: `expt-conformance [--scenarios N] [--seed S] [--threads T]
-//!                           [--buffer-depths | --vc-sweep] [--report PATH]`
+//!                           [--buffer-depths | --vc-sweep | --bursty-sweep]
+//!                           [--report PATH]`
 //!
 //! Defaults: 200 scenarios, seed 7, one worker per available core.  With
 //! `--buffer-depths` the campaign sweeps the buffer-depth dimension as well
 //! (uniform depths {1, 2, 4, 8, ∞-equivalent} plus seeded heterogeneous
 //! per-port assignments); with `--vc-sweep` it sweeps the virtual-channel
 //! dimension (VC counts 1–4 crossed with both static flow → VC assignment
-//! rules) instead; with `--report PATH` the machine-readable JSON
+//! rules) instead; with `--bursty-sweep` it samples bursty arrival-curve
+//! scenarios checked against the graph-based buffer-aware oracle (see
+//! `docs/ORACLES.md`); with `--report PATH` the machine-readable JSON
 //! report is written to PATH (the nightly CI artifact).  The stdout summary
 //! depends only on `(scenarios, seed, dimension)` — never on the worker
 //! count — so it is snapshot-testable; timing goes to stderr.  Exits
@@ -30,6 +33,7 @@ fn main() {
         .unwrap_or(1);
     let mut buffer_depths = false;
     let mut vc_sweep = false;
+    let mut bursty_sweep = false;
     let mut report_path: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
@@ -51,19 +55,25 @@ fn main() {
             }
             "--buffer-depths" => buffer_depths = true,
             "--vc-sweep" => vc_sweep = true,
+            "--bursty-sweep" => bursty_sweep = true,
             "--report" => report_path = Some(value("--report")),
             unknown => {
                 eprintln!(
                     "unknown argument {unknown}; usage: \
                      expt-conformance [--scenarios N] [--seed S] [--threads T] \
-                     [--buffer-depths | --vc-sweep] [--report PATH]"
+                     [--buffer-depths | --vc-sweep | --bursty-sweep] [--report PATH]"
                 );
                 std::process::exit(2);
             }
         }
     }
-    if buffer_depths && vc_sweep {
-        eprintln!("--buffer-depths and --vc-sweep are mutually exclusive");
+    if [buffer_depths, vc_sweep, bursty_sweep]
+        .iter()
+        .filter(|&&f| f)
+        .count()
+        > 1
+    {
+        eprintln!("--buffer-depths, --vc-sweep and --bursty-sweep are mutually exclusive");
         std::process::exit(2);
     }
 
@@ -71,6 +81,8 @@ fn main() {
         Campaign::buffer_sweep(seed, scenarios)
     } else if vc_sweep {
         Campaign::vc_sweep(seed, scenarios)
+    } else if bursty_sweep {
+        Campaign::bursty_sweep(seed, scenarios)
     } else {
         Campaign::new(seed, scenarios)
     };

@@ -650,6 +650,16 @@ fn peak_rss_kb() -> u64 {
     0
 }
 
+/// Absolute form of `path` for failure hints: a hint quoting a CWD-relative
+/// path is useless once CI has changed directories, so resolve it eagerly
+/// (falling back to `cwd/path` when the file does not exist yet).
+fn absolute(path: &str) -> String {
+    std::fs::canonicalize(path)
+        .ok()
+        .or_else(|| std::env::current_dir().ok().map(|cwd| cwd.join(path)))
+        .map_or_else(|| path.to_owned(), |p| p.display().to_string())
+}
+
 /// Extracts a numeric field from the flat JSON this binary writes.
 fn json_number(json: &str, field: &str) -> Option<f64> {
     let key = format!("\"{field}\":");
@@ -901,7 +911,11 @@ fn main() {
     );
 
     if speedup < 10.0 {
-        eprintln!("bench: incremental speedup {speedup:.1}x below the 10x floor");
+        eprintln!(
+            "bench: incremental speedup {speedup:.1}x below the 10x floor \
+             (this run's bench JSON: {})",
+            absolute(&out)
+        );
         std::process::exit(1);
     }
     if let Some(path) = baseline {
@@ -916,7 +930,14 @@ fn main() {
         if candidates_per_sec < floor {
             eprintln!(
                 "bench: throughput regressed >20%: {candidates_per_sec:.0} < {floor:.0} \
-                 candidates/sec (baseline {reference_rate:.0})"
+                 candidates/sec (baseline {reference_rate:.0})\n\
+                 bench: this run's bench JSON: {}\n\
+                 bench: committed baseline:    {}\n\
+                 bench: a legitimate hardware-class change means copying the bench JSON \
+                 over the baseline; output-shape changes are accepted via \
+                 ./scripts/regen-golden.sh, never by editing baselines",
+                absolute(&out),
+                absolute(&path)
             );
             std::process::exit(1);
         }

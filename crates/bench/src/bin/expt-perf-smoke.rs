@@ -47,6 +47,16 @@ fn peak_rss_kb() -> u64 {
     0
 }
 
+/// Absolute form of `path` for failure hints: a hint quoting a CWD-relative
+/// path is useless once CI has changed directories, so resolve it eagerly
+/// (falling back to `cwd/path` when the file does not exist yet).
+fn absolute(path: &str) -> String {
+    std::fs::canonicalize(path)
+        .ok()
+        .or_else(|| std::env::current_dir().ok().map(|cwd| cwd.join(path)))
+        .map_or_else(|| path.to_owned(), |p| p.display().to_string())
+}
+
 /// Extracts a numeric field from the flat JSON this binary writes.
 fn json_number(json: &str, field: &str) -> Option<f64> {
     let key = format!("\"{field}\":");
@@ -175,7 +185,14 @@ fn main() {
         if scenarios_per_sec < floor {
             eprintln!(
                 "perf-smoke: median throughput regressed >20%: {scenarios_per_sec:.2} < \
-                 {floor:.2} scenarios/sec (baseline {reference_rate:.2}; raw samples [{raw}])"
+                 {floor:.2} scenarios/sec (baseline {reference_rate:.2}; raw samples [{raw}])\n\
+                 perf-smoke: this run's bench JSON: {}\n\
+                 perf-smoke: committed baseline:    {}\n\
+                 perf-smoke: a legitimate hardware-class change means copying the bench JSON \
+                 over the baseline; output-shape changes are accepted via \
+                 ./scripts/regen-golden.sh, never by editing baselines",
+                absolute(&out),
+                absolute(&path)
             );
             std::process::exit(1);
         }

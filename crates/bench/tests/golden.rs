@@ -255,3 +255,36 @@ fn golden_expt_buffer_sweep() {
 fn golden_expt_vc_sweep() {
     check_golden("expt-vc-sweep", env!("CARGO_BIN_EXE_expt-vc-sweep"), &[]);
 }
+
+/// The same campaign over the bursty arrival-curve dimension: pins the
+/// bursty sampler, the open-loop driver and the graph-based buffer-aware
+/// verdicts.  Slow in debug, covered in release by CI.
+#[test]
+#[cfg_attr(debug_assertions, ignore = "slow in debug; run in release")]
+fn golden_expt_conformance_bursty_sweep() {
+    check_golden(
+        "expt-conformance-bursty-sweep",
+        env!("CARGO_BIN_EXE_expt-conformance"),
+        &[
+            "--scenarios",
+            "25",
+            "--seed",
+            "7",
+            "--threads",
+            "2",
+            "--bursty-sweep",
+        ],
+    );
+}
+
+/// Open-loop 8×8 bursty runs plus the workload trace replays are slow in
+/// debug; covered in release by CI.
+#[test]
+#[cfg_attr(debug_assertions, ignore = "slow in debug; run in release")]
+fn golden_expt_bursty_sweep() {
+    check_golden(
+        "expt-bursty-sweep",
+        env!("CARGO_BIN_EXE_expt-bursty-sweep"),
+        &[],
+    );
+}

@@ -36,6 +36,11 @@ pub enum CampaignDimension {
     /// 1–4 crossed with both static flow → VC assignment rules
     /// ([`Scenario::sample_vc`]).
     VcSweep,
+    /// The bursty arrival-curve dimension: open-loop WaW + WaP platforms with
+    /// per-flow bursts, jittered sustained rates and heterogeneous buffer
+    /// depths, checked against the graph-based buffer-aware bound
+    /// ([`Scenario::sample_bursty`]).
+    BurstySweep,
 }
 
 impl CampaignDimension {
@@ -45,6 +50,7 @@ impl CampaignDimension {
             CampaignDimension::Core => "core",
             CampaignDimension::BufferDepth => "buffer-depth",
             CampaignDimension::VcSweep => "vc",
+            CampaignDimension::BurstySweep => "bursty",
         }
     }
 
@@ -54,6 +60,7 @@ impl CampaignDimension {
             "core" => Some(CampaignDimension::Core),
             "buffer-depth" => Some(CampaignDimension::BufferDepth),
             "vc" => Some(CampaignDimension::VcSweep),
+            "bursty" => Some(CampaignDimension::BurstySweep),
             _ => None,
         }
     }
@@ -99,6 +106,15 @@ impl Campaign {
         }
     }
 
+    /// Creates a campaign over the bursty arrival-curve dimension.
+    pub fn bursty_sweep(seed: u64, scenarios: usize) -> Self {
+        Self {
+            seed,
+            scenarios,
+            dimension: CampaignDimension::BurstySweep,
+        }
+    }
+
     /// Materialises scenario `index` of the campaign.  Sampling is a pure
     /// function of `(dimension, seed, index)`, which is what makes the fleet
     /// runner's shards independent: any process can materialise any index
@@ -108,6 +124,7 @@ impl Campaign {
             CampaignDimension::Core => Scenario::sample(index, self.seed),
             CampaignDimension::BufferDepth => Scenario::sample_buffered(index, self.seed),
             CampaignDimension::VcSweep => Scenario::sample_vc(index, self.seed),
+            CampaignDimension::BurstySweep => Scenario::sample_bursty(index, self.seed),
         }
     }
 
@@ -487,6 +504,12 @@ impl ConformanceReport {
                 tightest.scenario.label()
             ));
         }
+        if !self.passed() {
+            out.push_str(
+                "see docs/ORACLES.md for every oracle's assumptions, validity domain and the \
+                 dominance/ordering lattice\n",
+            );
+        }
         for outcome in self.outcomes.iter().filter(|o| !o.passed()) {
             out.push_str(&format!(
                 "FAILED {}: {} dominance, {} ordering violations\n",
@@ -552,6 +575,21 @@ mod tests {
         assert!(report.passed(), "{}", report.render());
         assert_eq!(report.dominance_violations(), 0);
         assert_eq!(report.ordering_violations(), 0);
+    }
+
+    #[test]
+    fn small_bursty_campaign_passes() {
+        let report = Campaign::bursty_sweep(7, 6).run(2).unwrap();
+        assert_eq!(report.scenario_count(), 6);
+        assert!(report.passed(), "{}", report.render());
+        assert_eq!(report.dominance_violations(), 0);
+        assert_eq!(report.ordering_violations(), 0);
+        // The dimension must actually exercise bursty traffic.
+        assert!(report
+            .outcomes
+            .iter()
+            .all(|o| !matches!(o.scenario.traffic, crate::TrafficChoice::ClosedLoop)));
+        assert!(report.observed().count > 0);
     }
 
     #[test]

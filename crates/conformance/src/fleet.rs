@@ -48,12 +48,13 @@ use wnoc_core::vc::VcAssignment;
 
 use crate::scenario::{
     BufferChoice, DesignChoice, Scenario, ScenarioFamily, ScenarioOutcome, TightnessSummary,
-    VcChoice, Violation,
+    TrafficChoice, VcChoice, Violation,
 };
 
 /// Format tag embedded in every checkpoint artifact; bump on any codec
-/// change so stale checkpoints are rejected instead of misparsed.
-pub const FORMAT_VERSION: &str = "wnoc-fleet/v2";
+/// change so stale checkpoints are rejected instead of misparsed.  v3 added
+/// the scenario `traffic` field (the bursty arrival-curve dimension).
+pub const FORMAT_VERSION: &str = "wnoc-fleet/v3";
 
 /// Test-only fault-injection hook: when this environment variable is set to
 /// a millisecond count, [`Fleet::run_shard`] stalls for that long after
@@ -654,10 +655,37 @@ fn parse_vcs(value: &Json, path: &Path) -> Result<VcChoice> {
     }
 }
 
+fn render_traffic(traffic: &TrafficChoice) -> String {
+    match traffic {
+        TrafficChoice::ClosedLoop => "{\"kind\":\"closed-loop\"}".to_string(),
+        TrafficChoice::Bursty { burst, gap, cv } => {
+            format!("{{\"kind\":\"bursty\",\"burst\":{burst},\"gap\":{gap},\"cv\":{cv}}}")
+        }
+    }
+}
+
+fn parse_traffic(value: &Json, path: &Path) -> Result<TrafficChoice> {
+    match field_str(value, "kind", path)? {
+        "closed-loop" => Ok(TrafficChoice::ClosedLoop),
+        "bursty" => {
+            let component = |key: &str| -> Result<u32> {
+                let raw = field_u64(value, key, path)?;
+                u32::try_from(raw).map_err(|_| corrupt(path, format!("{key} out of range")))
+            };
+            Ok(TrafficChoice::Bursty {
+                burst: component("burst")?,
+                gap: component("gap")?,
+                cv: component("cv")?,
+            })
+        }
+        unknown => Err(corrupt(path, format!("unknown traffic kind \"{unknown}\""))),
+    }
+}
+
 fn render_scenario(scenario: &Scenario) -> String {
     format!(
         "{{\"index\":{},\"seed\":{},\"side\":{},\"family\":{},\"design\":{},\
-         \"message_flits\":{},\"cycles\":{},\"buffers\":{},\"vcs\":{}}}",
+         \"message_flits\":{},\"cycles\":{},\"buffers\":{},\"vcs\":{},\"traffic\":{}}}",
         scenario.index,
         scenario.seed,
         scenario.side,
@@ -666,7 +694,8 @@ fn render_scenario(scenario: &Scenario) -> String {
         scenario.message_flits,
         scenario.cycles,
         render_buffers(&scenario.buffers),
-        render_vcs(&scenario.vcs)
+        render_vcs(&scenario.vcs),
+        render_traffic(&scenario.traffic)
     )
 }
 
@@ -684,6 +713,7 @@ fn parse_scenario(value: &Json, path: &Path) -> Result<Scenario> {
         cycles: field_u64(value, "cycles", path)?,
         buffers: parse_buffers(field(value, "buffers", path)?, path)?,
         vcs: parse_vcs(field(value, "vcs", path)?, path)?,
+        traffic: parse_traffic(field(value, "traffic", path)?, path)?,
     })
 }
 
@@ -1593,6 +1623,14 @@ mod tests {
             config_hash(&Campaign::buffer_sweep(7, 200)),
             config_hash(&Campaign::vc_sweep(7, 200))
         );
+        assert_ne!(
+            config_hash(&base),
+            config_hash(&Campaign::bursty_sweep(7, 200))
+        );
+        assert_ne!(
+            config_hash(&Campaign::vc_sweep(7, 200)),
+            config_hash(&Campaign::bursty_sweep(7, 200))
+        );
     }
 
     /// A handcrafted outcome exercising every codec branch: violations,
@@ -1621,6 +1659,11 @@ mod tests {
                 vcs: VcChoice::Count {
                     count: 3,
                     assignment: VcAssignment::Distance,
+                },
+                traffic: TrafficChoice::Bursty {
+                    burst: 5,
+                    gap: 4_321,
+                    cv: 50,
                 },
             },
             flow_count: 3,
@@ -1687,6 +1730,28 @@ mod tests {
             let parsed = parse_json(&rendered).expect("family renders as JSON");
             let back = parse_family(&parsed, Path::new("inline")).expect("family reconstructs");
             assert_eq!(back, family);
+        }
+    }
+
+    #[test]
+    fn every_traffic_choice_round_trips() {
+        for traffic in [
+            TrafficChoice::ClosedLoop,
+            TrafficChoice::Bursty {
+                burst: 0,
+                gap: 1,
+                cv: 0,
+            },
+            TrafficChoice::Bursty {
+                burst: 6,
+                gap: 123_456,
+                cv: 50,
+            },
+        ] {
+            let rendered = render_traffic(&traffic);
+            let parsed = parse_json(&rendered).expect("traffic renders as JSON");
+            let back = parse_traffic(&parsed, Path::new("inline")).expect("traffic reconstructs");
+            assert_eq!(back, traffic);
         }
     }
 

@@ -52,5 +52,5 @@ pub use fleet::{
 };
 pub use scenario::{
     BufferChoice, DesignChoice, FlowSetCache, Scenario, ScenarioFamily, ScenarioOutcome,
-    TightnessSummary, VcChoice, Violation,
+    TightnessSummary, TrafficChoice, VcChoice, Violation,
 };

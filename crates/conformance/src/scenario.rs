@@ -23,13 +23,16 @@ use serde::{Deserialize, Serialize};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 
-use wnoc_core::analysis::oracle::{oracle_suite_with_counts, BufferAwareOracle, WcttBoundModel};
+use wnoc_core::analysis::oracle::{
+    oracle_suite_with_counts, oracle_suite_with_curve, BufferAwareOracle, GraphBufferAwareOracle,
+    WcttBoundModel,
+};
 use wnoc_core::analysis::preemptive::SATURATION_SENTINEL;
 use wnoc_core::analysis::BufferAwareWcttModel;
 use wnoc_core::buffers::per_port_table;
 use wnoc_core::flow::{FlowId, FlowSet, PortCounts};
 use wnoc_core::vc::{VcAssignment, VcConfig};
-use wnoc_core::{BufferConfig, Coord, Mesh, NocConfig, NodeId, Result};
+use wnoc_core::{ArrivalCurve, BufferConfig, Coord, Mesh, NocConfig, NodeId, Result};
 use wnoc_sim::{LatencyStats, SaturatedReport, Simulation};
 use wnoc_workloads::Placement;
 
@@ -141,6 +144,52 @@ impl VcChoice {
         match self {
             VcChoice::Default => String::new(),
             VcChoice::Count { .. } => format!(" {}", self.config().label()),
+        }
+    }
+}
+
+/// The traffic discipline of a scenario — the arrival dimension of the
+/// conformance space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TrafficChoice {
+    /// Closed-loop probing ([`Simulation::run_closed_loop`]): every flow
+    /// keeps exactly one message in flight, observing *traversal* latencies.
+    /// Scenarios sampled outside the bursty dimension always use it, keeping
+    /// legacy campaigns byte-identical.
+    ClosedLoop,
+    /// Open-loop bursty arrivals ([`Simulation::run_bursty`]): every flow
+    /// releases messages along the arrival curve `(burst, gap, cv)`,
+    /// observing *end-to-end message* latencies (queueing behind the flow's
+    /// own admitted backlog included) against the graph-based buffer-aware
+    /// bound.
+    Bursty {
+        /// Messages released back-to-back at cycle zero (the curve's `b`).
+        burst: u32,
+        /// Sustained inter-arrival gap in cycles.
+        gap: u32,
+        /// Jitter knob: each release may slip by up to `gap * cv / 100`
+        /// cycles (seeded, per flow).
+        cv: u32,
+    },
+}
+
+impl TrafficChoice {
+    /// The concrete arrival contract, or `None` for the closed-loop default.
+    pub fn curve(&self) -> Option<ArrivalCurve> {
+        match *self {
+            TrafficChoice::ClosedLoop => None,
+            TrafficChoice::Bursty { burst, gap, cv } => {
+                Some(ArrivalCurve::bursty(burst, gap).with_jitter(cv))
+            }
+        }
+    }
+
+    /// Label suffix for reports; empty for the closed-loop default so legacy
+    /// scenario labels are unchanged.
+    pub fn label_suffix(&self) -> String {
+        match *self {
+            TrafficChoice::ClosedLoop => String::new(),
+            TrafficChoice::Bursty { burst, gap, cv } => format!(" b={burst}/g={gap}/cv={cv}"),
         }
     }
 }
@@ -314,6 +363,9 @@ pub struct Scenario {
     /// Virtual-channel configuration ([`VcChoice::Default`] for scenarios
     /// sampled outside the VC dimension).
     pub vcs: VcChoice,
+    /// Traffic discipline ([`TrafficChoice::ClosedLoop`] for scenarios
+    /// sampled outside the bursty dimension).
+    pub traffic: TrafficChoice,
 }
 
 /// One dominance violation: an observation above an analysis' bound.  An
@@ -520,6 +572,7 @@ impl Scenario {
             cycles,
             buffers: BufferChoice::Default,
             vcs: VcChoice::Default,
+            traffic: TrafficChoice::ClosedLoop,
         }
     }
 
@@ -608,10 +661,109 @@ impl Scenario {
         scenario
     }
 
+    /// Samples scenario `index` of a **bursty** campaign: open-loop
+    /// arrival-curve traffic against the graph-based buffer-aware bound.
+    ///
+    /// The graph-based analysis models the single-VC WaW + WaP router with
+    /// **one flow per source NIC** under a **stable** sustained rate (see
+    /// [`wnoc_core::analysis::graph_buffer_aware`]), so this sampler stays
+    /// inside that validity domain by construction: the design is always
+    /// WaW + WaP with the default single-queue router, the family is either
+    /// an all-to-one hotspot or a random pair set with distinct sources, and
+    /// the sustained gap is sized from the scenario's own steady-state
+    /// buffer-aware bounds — at least twice the worst per-flow message bound,
+    /// so even a release delayed by the maximum jitter (`cv ≤ 50`% of the
+    /// gap) leaves every queue emptied before the next arrival.  Burst sizes
+    /// 0–6 and heterogeneous buffer depths ride on top; the burst backlog is
+    /// what separates the graph-based bound from its steady-state base.
+    pub fn sample_bursty(index: usize, campaign_seed: u64) -> Self {
+        let stream =
+            !campaign_seed ^ (index as u64).wrapping_mul(0x94D0_49BB_1331_11EB) ^ 0xB0B5_7EED;
+        let mut rng = ChaCha8Rng::seed_from_u64(stream);
+
+        let side: u16 = rng.gen_range(3u16..=8);
+        let mesh = Mesh::square(side).expect("side in 3..=8");
+        let random_coord =
+            |rng: &mut ChaCha8Rng| Coord::new(rng.gen_range(0..side), rng.gen_range(0..side));
+
+        // One flow per source NIC: the hotspot family has it by construction;
+        // pair sets enforce it by rejecting a second flow from the same
+        // source.  Broadcasts, endpoints and placements put several flows on
+        // one NIC and are outside the graph-based model's domain.
+        let family = if rng.gen_range(0u32..3) < 2 {
+            ScenarioFamily::AllToOne {
+                hotspot: random_coord(&mut rng),
+            }
+        } else {
+            let nodes = usize::from(side) * usize::from(side);
+            let want = rng.gen_range(2usize..=(2 * usize::from(side)).min(16));
+            let mut pairs: Vec<(NodeId, NodeId)> = Vec::new();
+            for _ in 0..(8 * want) {
+                if pairs.len() >= want {
+                    break;
+                }
+                let src = NodeId(rng.gen_range(0..nodes));
+                let dst = NodeId(rng.gen_range(0..nodes));
+                if src != dst && !pairs.iter().any(|&(s, _)| s == src) {
+                    pairs.push((src, dst));
+                }
+            }
+            ScenarioFamily::RandomPairs { pairs }
+        };
+
+        let buffers = match rng.gen_range(0u32..8) {
+            0 => BufferChoice::Uniform { depth: 1 },
+            1 => BufferChoice::Uniform { depth: 2 },
+            2..=4 => BufferChoice::Default,
+            5 => BufferChoice::Uniform { depth: 8 },
+            _ => BufferChoice::Heterogeneous {
+                seed: rng.gen_range(0u64..1_000_000),
+            },
+        };
+
+        let message_flits = [1u32, 1, 1, 2, 3][rng.gen_range(0usize..5)];
+        let burst = rng.gen_range(0u32..=6);
+        let cv = [0u32, 0, 10, 25, 50][rng.gen_range(0usize..5)];
+
+        // Size the sustained gap from the platform's own steady-state bounds:
+        // gap ≥ 2 × the worst per-flow buffer-aware message bound keeps every
+        // flow stable (the queue drains between arrivals) even when jitter
+        // delays a release by the full cv ≤ 50% allowance.
+        let design = DesignChoice::WawWap;
+        let config = design.config();
+        let flows = family.flow_set(&mesh).expect("sampled family is valid");
+        let mut base =
+            BufferAwareOracle::new(&flows, &config, mesh, buffers.config(&config, &mesh));
+        let worst = (0..flows.len())
+            .filter_map(|i| base.message_bound(FlowId(i), message_flits))
+            .max()
+            .unwrap_or(1)
+            .max(1);
+        let slack = rng.gen_range(0u64..=worst);
+        let gap = u32::try_from(2 * worst + slack).unwrap_or(u32::MAX);
+
+        // Enough epochs to see steady-state repeats after the initial burst
+        // drains, plus a floor for small platforms.
+        let cycles = u64::from(gap) * 5 + 500;
+
+        Self {
+            index,
+            seed: campaign_seed,
+            side,
+            family,
+            design,
+            message_flits,
+            cycles,
+            buffers,
+            vcs: VcChoice::Default,
+            traffic: TrafficChoice::Bursty { burst, gap, cv },
+        }
+    }
+
     /// One-line description for logs and reports.
     pub fn label(&self) -> String {
         format!(
-            "#{} {}x{} {} {} mf={}{}{}",
+            "#{} {}x{} {} {} mf={}{}{}{}",
             self.index,
             self.side,
             self.side,
@@ -619,7 +771,8 @@ impl Scenario {
             self.design.label(),
             self.message_flits,
             self.buffers.label_suffix(),
-            self.vcs.label_suffix()
+            self.vcs.label_suffix(),
+            self.traffic.label_suffix()
         )
     }
 
@@ -649,10 +802,31 @@ impl Scenario {
         let vcs = self.vcs.config();
 
         let mut sim = Simulation::with_vcs(mesh, config, &flows, &buffers, vcs)?;
-        let report = sim.run_closed_loop(&flows, self.message_flits, self.cycles)?;
+        let report = match self.traffic.curve() {
+            None => sim.run_closed_loop(&flows, self.message_flits, self.cycles)?,
+            Some(curve) => {
+                // Open-loop replay: the release schedule (and its jitter) is
+                // a pure function of the campaign identity, so the outcome
+                // reproduces from `(seed, index)` like every other scenario.
+                let schedule_seed =
+                    self.seed ^ (self.index as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                sim.run_bursty(
+                    &flows,
+                    self.message_flits,
+                    &curve,
+                    self.cycles,
+                    schedule_seed,
+                )?
+            }
+        };
         let simulated_cycles = sim.stats().cycles;
 
-        let mut suite = oracle_suite_with_counts(&flows, &config, mesh, &buffers, vcs, counts)?;
+        let mut suite = match self.traffic.curve() {
+            None => oracle_suite_with_counts(&flows, &config, mesh, &buffers, vcs, counts)?,
+            Some(curve) => {
+                oracle_suite_with_curve(&flows, &config, mesh, &buffers, vcs, counts, curve)?
+            }
+        };
         // The weighted analyses only model platforms where flows sharing an
         // input buffer never diverge (the paper's single-destination
         // evaluation); elsewhere FIFO head-of-line blocking imports delay
@@ -845,6 +1019,10 @@ impl Scenario {
         if self.design == DesignChoice::WawWap {
             failures.extend(self.check_buffer_aware_ordering(flows, mesh, buffers, suite));
         }
+        if let TrafficChoice::Bursty { burst, gap, cv } = self.traffic {
+            failures
+                .extend(self.check_bursty_ordering(flows, mesh, buffers, suite, burst, gap, cv));
+        }
         failures
     }
 
@@ -906,6 +1084,84 @@ impl Scenario {
                     failures.push(format!(
                         "{flow}: doubling every buffer depth raised the buffer-aware \
                          bound {ba} -> {relaxed}"
+                    ));
+                }
+            }
+        }
+        failures
+    }
+
+    /// The bursty ordering invariants (scenarios of the bursty dimension
+    /// only), per flow:
+    ///
+    /// * **zero-burst collapse** — at `b ≤ 1` without jitter the graph-based
+    ///   bound equals the steady-state buffer-aware bound *bit-identically*
+    ///   (the burst and jitter terms vanish, nothing else may differ);
+    /// * `buffer-aware ≤ graph-ba` — the burst term never weakens the base;
+    /// * **monotone in `b`** — raising the burst by one message never lowers
+    ///   the bound.
+    #[allow(clippy::too_many_arguments)]
+    fn check_bursty_ordering(
+        &self,
+        flows: &FlowSet,
+        mesh: &Mesh,
+        buffers: &BufferConfig,
+        suite: &mut [Box<dyn WcttBoundModel>],
+        burst: u32,
+        gap: u32,
+        cv: u32,
+    ) -> Vec<String> {
+        let mut failures = Vec::new();
+        let position = |suite: &[Box<dyn WcttBoundModel>], name: &str| {
+            suite.iter().position(|o| o.name() == name)
+        };
+        let (Some(graph_at), Some(ba_at)) =
+            (position(suite, "graph-ba"), position(suite, "buffer-aware"))
+        else {
+            return vec!["bursty oracle suite lacks the graph-based analysis".to_string()];
+        };
+        let config = self.design.config();
+        let mut collapsed = GraphBufferAwareOracle::new(
+            flows,
+            &config,
+            *mesh,
+            buffers.clone(),
+            ArrivalCurve::bursty(1, gap),
+        );
+        let mut raised = GraphBufferAwareOracle::new(
+            flows,
+            &config,
+            *mesh,
+            buffers.clone(),
+            ArrivalCurve::bursty(burst + 1, gap).with_jitter(cv),
+        );
+        for index in 0..flows.len() {
+            let flow = FlowId(index);
+            let (Some(graph), Some(ba)) = (
+                suite[graph_at].message_bound(flow, self.message_flits),
+                suite[ba_at].message_bound(flow, self.message_flits),
+            ) else {
+                continue;
+            };
+            if let Some(zero) = collapsed.message_bound(flow, self.message_flits) {
+                if zero != ba {
+                    failures.push(format!(
+                        "{flow}: zero-burst graph bound {zero} differs from the \
+                         buffer-aware bound {ba}"
+                    ));
+                }
+            }
+            if graph < ba {
+                failures.push(format!(
+                    "{flow}: graph bound {graph} below its buffer-aware base {ba}"
+                ));
+            }
+            if let Some(next) = raised.message_bound(flow, self.message_flits) {
+                if next < graph {
+                    failures.push(format!(
+                        "{flow}: raising the burst from {burst} to {} lowered the graph \
+                         bound {graph} -> {next}",
+                        burst + 1
                     ));
                 }
             }
@@ -981,6 +1237,7 @@ mod tests {
             cycles: 1_500,
             buffers: BufferChoice::Default,
             vcs: VcChoice::Default,
+            traffic: TrafficChoice::ClosedLoop,
         };
         let outcome = scenario.run().unwrap();
         assert!(outcome.passed(), "{:?}", outcome.violations);
@@ -1145,6 +1402,7 @@ mod tests {
             cycles: 3_000,
             buffers: BufferChoice::Uniform { depth: 1 },
             vcs: VcChoice::Default,
+            traffic: TrafficChoice::ClosedLoop,
         };
         let outcome = scenario.run().unwrap();
         assert!(
@@ -1216,6 +1474,125 @@ mod tests {
     }
 
     #[test]
+    fn bursty_sampler_stays_inside_the_graph_models_domain() {
+        let mut hotspots = 0;
+        let mut pair_sets = 0;
+        let mut bursts_seen = [false; 7];
+        for index in 0..60 {
+            let scenario = Scenario::sample_bursty(index, 11);
+            assert_eq!(
+                scenario.design,
+                DesignChoice::WawWap,
+                "{}",
+                scenario.label()
+            );
+            assert_eq!(scenario.vcs, VcChoice::Default, "{}", scenario.label());
+            let TrafficChoice::Bursty { burst, gap, cv } = scenario.traffic else {
+                panic!("bursty sampler produced closed-loop traffic");
+            };
+            assert!(burst <= 6 && cv <= 50, "{}", scenario.label());
+            bursts_seen[burst as usize] = true;
+            // One flow per source NIC, and a gap at least twice the worst
+            // steady-state message bound (the stability margin the analysis
+            // needs under cv <= 50% jitter).
+            let mesh = Mesh::square(scenario.side).unwrap();
+            let flows = scenario.family.flow_set(&mesh).unwrap();
+            let mut sources: Vec<NodeId> = flows.iter().map(|(_, f)| f.src).collect();
+            sources.sort_unstable();
+            sources.dedup();
+            assert_eq!(sources.len(), flows.len(), "{}", scenario.label());
+            let config = scenario.design.config();
+            let buffers = scenario.buffers.config(&config, &mesh);
+            let mut base = BufferAwareOracle::new(&flows, &config, mesh, buffers);
+            let worst = (0..flows.len())
+                .filter_map(|i| base.message_bound(FlowId(i), scenario.message_flits))
+                .max()
+                .unwrap();
+            assert!(
+                u64::from(gap) >= 2 * worst,
+                "{}: gap {gap} below stability margin 2x{worst}",
+                scenario.label()
+            );
+            assert!(scenario.cycles > u64::from(gap), "{}", scenario.label());
+            match &scenario.family {
+                ScenarioFamily::AllToOne { .. } => hotspots += 1,
+                ScenarioFamily::RandomPairs { .. } => pair_sets += 1,
+                other => panic!("family outside the bursty domain: {other:?}"),
+            }
+            assert_eq!(
+                Scenario::sample_bursty(index, 11),
+                scenario,
+                "sampler not pure"
+            );
+        }
+        assert!(hotspots > 0, "no hotspot scenario sampled");
+        assert!(pair_sets > 0, "no pair-set scenario sampled");
+        assert!(
+            bursts_seen.iter().filter(|&&b| b).count() >= 4,
+            "burst sizes barely covered"
+        );
+    }
+
+    #[test]
+    fn a_small_bursty_scenario_passes_end_to_end() {
+        // Pinned bursty platform: a 3x3 hotspot with a 4-message burst and
+        // jittered sustained arrivals.  The graph-based oracle must dominate
+        // the end-to-end message latencies (self-queueing included), and the
+        // bursty ordering checks (zero-burst collapse, monotonicity) run.
+        let scenario = Scenario {
+            index: 0,
+            seed: 0,
+            side: 3,
+            family: ScenarioFamily::AllToOne {
+                hotspot: Coord::from_row_col(0, 0),
+            },
+            design: DesignChoice::WawWap,
+            message_flits: 1,
+            cycles: 6_000,
+            buffers: BufferChoice::Default,
+            vcs: VcChoice::Default,
+            traffic: TrafficChoice::Bursty {
+                burst: 4,
+                gap: 1_000,
+                cv: 25,
+            },
+        };
+        assert!(
+            scenario.label().ends_with(" b=4/g=1000/cv=25"),
+            "{}",
+            scenario.label()
+        );
+        let outcome = scenario.run().unwrap();
+        assert!(
+            outcome.passed(),
+            "violations: {:?} / {:?}",
+            outcome.violations,
+            outcome.ordering_violations
+        );
+        assert!(outcome.dominance_checked, "graph-ba oracle must dominate");
+        assert!(outcome.tightness.flows > 0);
+        assert!(outcome.tightness.max <= 1.0);
+        assert!(outcome.observed.count > 0);
+    }
+
+    #[test]
+    fn sampled_bursty_scenarios_pass() {
+        let mut cache = FlowSetCache::new();
+        for index in 0..4 {
+            let scenario = Scenario::sample_bursty(index, 42);
+            let outcome = scenario.run_with_cache(&mut cache).unwrap();
+            assert!(
+                outcome.passed(),
+                "{}: {:?} / {:?}",
+                scenario.label(),
+                outcome.violations,
+                outcome.ordering_violations
+            );
+            assert_eq!(outcome, scenario.run().unwrap(), "{}", scenario.label());
+        }
+    }
+
+    #[test]
     fn a_small_multi_vc_scenario_passes_end_to_end() {
         // Pinned multi-VC platform: the preemptive oracle is the only
         // dominating analysis (the single-VC analyses are demoted), VC 0
@@ -1238,6 +1615,7 @@ mod tests {
                 count: 2,
                 assignment: VcAssignment::FlowIndex,
             },
+            traffic: TrafficChoice::ClosedLoop,
         };
         assert!(
             scenario.label().ends_with(" vc=2/idx"),

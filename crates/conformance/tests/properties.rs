@@ -8,7 +8,9 @@
 
 use proptest::prelude::*;
 
-use wnoc_conformance::{BufferChoice, DesignChoice, Scenario, ScenarioFamily, VcChoice};
+use wnoc_conformance::{
+    BufferChoice, DesignChoice, Scenario, ScenarioFamily, TrafficChoice, VcChoice,
+};
 use wnoc_core::vc::VcAssignment;
 use wnoc_core::{BufferConfig, Coord, Mesh, NodeId};
 
@@ -127,6 +129,7 @@ proptest! {
             cycles: 1_500,
             buffers,
             vcs,
+            traffic: TrafficChoice::ClosedLoop,
         };
         let outcome = scenario.run().unwrap();
         prop_assert!(

@@ -124,6 +124,26 @@ impl BufferAwareWcttModel {
         &self.buffers
     }
 
+    /// The weight table (per-port flow counts) the model analyses.
+    pub fn weights(&self) -> &WeightTable {
+        &self.weights
+    }
+
+    /// The router timing parameters of the model.
+    pub fn timing(&self) -> RouterTiming {
+        self.timing
+    }
+
+    /// The minimum packet (slice) size in flits — the paper's `m`.
+    pub fn slice_flits(&self) -> u32 {
+        self.slice_flits
+    }
+
+    /// The mesh the model analyses.
+    pub fn mesh(&self) -> &Mesh {
+        &self.mesh
+    }
+
     /// Mutable access to the weight table, for callers (the incremental
     /// analysis engine) that maintain the flow counts in place via
     /// [`WeightTable::apply_route_delta`] instead of rebuilding the model.

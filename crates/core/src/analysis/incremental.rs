@@ -44,8 +44,9 @@ use crate::analysis::preemptive::{PreemptiveOracle, SATURATION_SENTINEL};
 use crate::analysis::regular::RegularWcttModel;
 use crate::analysis::slot;
 use crate::analysis::weighted::WeightedWcttModel;
-use crate::analysis::BufferAwareWcttModel;
+use crate::analysis::{BufferAwareWcttModel, GraphBufferAwareWcttModel};
 use crate::arbitration::ArbitrationPolicy;
+use crate::arrival::ArrivalCurve;
 use crate::buffers::BufferConfig;
 use crate::config::NocConfig;
 use crate::error::{Error, Result};
@@ -77,6 +78,9 @@ pub enum Analysis {
     WeightedBp,
     /// Buffer-aware weighted bound (`"buffer-aware"`).
     BufferAware,
+    /// Graph-based buffer-aware bound under the engine's arrival curve
+    /// (`"graph-ba"`).
+    GraphBufferAware,
 }
 
 impl Analysis {
@@ -90,6 +94,7 @@ impl Analysis {
             Analysis::Weighted => "weighted",
             Analysis::WeightedBp => "weighted-bp",
             Analysis::BufferAware => "buffer-aware",
+            Analysis::GraphBufferAware => "graph-ba",
         }
     }
 
@@ -103,6 +108,7 @@ impl Analysis {
             "weighted" => Analysis::Weighted,
             "weighted-bp" => Analysis::WeightedBp,
             "buffer-aware" => Analysis::BufferAware,
+            "graph-ba" => Analysis::GraphBufferAware,
             _ => return None,
         })
     }
@@ -141,6 +147,10 @@ pub enum Mutation {
     },
     /// Replaces the platform's VC configuration.
     SetVcs(VcConfig),
+    /// Replaces the arrival contract the graph-based bursty analysis covers
+    /// (a global knob, like the preemptive depth envelope: no per-flow terms
+    /// are invalidated because the burst term composes at query time).
+    SetArrivalCurve(ArrivalCurve),
 }
 
 /// The cached route-dependent terms of one flow.  Composing bounds from
@@ -228,6 +238,11 @@ pub struct IncrementalAnalysis {
     weighted: Option<WeightedWcttModel>,
     /// WaW: the buffer-aware model over its own delta-maintained table.
     buffer_aware: Option<BufferAwareWcttModel>,
+    /// WaW: the graph-based bursty extension over its own delta-maintained
+    /// base model.  Its bounds are composed at query time (the burst term
+    /// depends on the queried message size), so the arrival-curve knob never
+    /// touches the per-flow term cache.
+    graph: Option<GraphBufferAwareWcttModel>,
     /// The preemptive depth envelope factor of the current buffer plan,
     /// recomputed per depth mutation and applied at query time.
     depth_factor: u64,
@@ -268,7 +283,7 @@ impl IncrementalAnalysis {
         config.validate()?;
         let mesh = *flows.mesh();
         buffers.validate(&mesh)?;
-        let (regular, weighted, buffer_aware) = match config.arbitration {
+        let (regular, weighted, buffer_aware, graph) = match config.arbitration {
             ArbitrationPolicy::RoundRobin => (
                 Some(RegularWcttModel::new_tracking(
                     flows,
@@ -277,19 +292,28 @@ impl IncrementalAnalysis {
                 )),
                 None,
                 None,
+                None,
             ),
             ArbitrationPolicy::Waw => {
                 let slice = config.packetization.worst_case_contender_flits();
                 let table = WeightTable::from_flow_set(flows);
+                let base = BufferAwareWcttModel::new(
+                    table.clone(),
+                    config.timing,
+                    slice,
+                    mesh,
+                    buffers.clone(),
+                );
                 (
                     None,
-                    Some(WeightedWcttModel::new(table.clone(), config.timing, slice)),
-                    Some(BufferAwareWcttModel::new(
-                        table,
-                        config.timing,
-                        slice,
-                        mesh,
-                        buffers.clone(),
+                    Some(WeightedWcttModel::new(table, config.timing, slice)),
+                    Some(base.clone()),
+                    // Seeded with the burst-free contract, under which the
+                    // graph-based bound collapses to the buffer-aware one;
+                    // `Mutation::SetArrivalCurve` swaps the contract in place.
+                    Some(GraphBufferAwareWcttModel::new(
+                        base,
+                        ArrivalCurve::periodic(1),
                     )),
                 )
             }
@@ -310,6 +334,7 @@ impl IncrementalAnalysis {
             regular,
             weighted,
             buffer_aware,
+            graph,
             depth_factor: PreemptiveOracle::depth_envelope_factor(config, buffers),
             preemptive: None,
             preemptive_dirty: true,
@@ -345,6 +370,12 @@ impl IncrementalAnalysis {
         &self.config
     }
 
+    /// The arrival contract the graph-based bursty analysis currently covers
+    /// (`None` under round robin, where the analysis is inapplicable).
+    pub fn arrival_curve(&self) -> Option<ArrivalCurve> {
+        self.graph.as_ref().map(GraphBufferAwareWcttModel::curve)
+    }
+
     /// The analyses applicable to the engine's arbitration policy, in the
     /// order the conformance suite reports them at the default design point.
     pub fn analyses(&self) -> Vec<Analysis> {
@@ -359,6 +390,7 @@ impl IncrementalAnalysis {
                 Analysis::WeightedBp,
                 Analysis::Weighted,
                 Analysis::BufferAware,
+                Analysis::GraphBufferAware,
                 Analysis::Ubd,
                 Analysis::Slot,
             ],
@@ -420,6 +452,9 @@ impl IncrementalAnalysis {
                 if let Some(model) = &mut self.buffer_aware {
                     model.set_buffers(self.buffers.clone());
                 }
+                if let Some(model) = &mut self.graph {
+                    model.base_mut().set_buffers(self.buffers.clone());
+                }
                 self.depth_factor =
                     PreemptiveOracle::depth_envelope_factor(&self.config, &self.buffers);
                 if let Some(readers) = self.depth_readers.get(&(node, port)) {
@@ -432,6 +467,14 @@ impl IncrementalAnalysis {
             Mutation::SetVcs(vcs) => {
                 self.vcs = vcs;
                 self.preemptive_dirty = true;
+            }
+            Mutation::SetArrivalCurve(curve) => {
+                // Applied at query time like the depth envelope factor: the
+                // graph-based bounds never enter the per-flow term cache, so
+                // nothing is invalidated.
+                if let Some(model) = &mut self.graph {
+                    model.set_curve(curve);
+                }
             }
         }
         Ok(())
@@ -489,6 +532,11 @@ impl IncrementalAnalysis {
                 self.buffer_aware.as_ref()?;
                 let terms = self.ensure_terms(id.0)?;
                 Some(terms.ba_packet)
+            }
+            Analysis::GraphBufferAware => {
+                let model = self.graph.as_ref()?;
+                let route = self.flows.route(id)?;
+                Some(model.packet_wctt(route))
             }
         }
     }
@@ -632,6 +680,12 @@ impl IncrementalAnalysis {
                     slices,
                 ))
             }
+            Analysis::GraphBufferAware => {
+                let slices = self.slices(message_flits);
+                let model = self.graph.as_ref()?;
+                let route = self.flows.route(id)?;
+                Some(model.message_wctt(route, slices))
+            }
         }
     }
 
@@ -730,6 +784,9 @@ impl IncrementalAnalysis {
             .map(|model| model.weights_mut().apply_route_delta(route, add));
         if let Some(model) = &mut self.buffer_aware {
             model.weights_mut().apply_route_delta(route, add);
+        }
+        if let Some(model) = &mut self.graph {
+            model.base_mut().weights_mut().apply_route_delta(route, add);
         }
         let mut events: Vec<u32> = Vec::new();
         let push_event = |events: &mut Vec<u32>, column: u32| {
@@ -998,6 +1055,68 @@ mod tests {
     }
 
     #[test]
+    fn arrival_curve_mutations_match_a_fresh_graph_oracle() {
+        use crate::analysis::oracle::GraphBufferAwareOracle;
+        let config = NocConfig::waw_wap();
+        let (mesh, flows) = setup(4);
+        let buffers = BufferConfig::uniform(config.input_buffer_flits);
+        let mut engine =
+            IncrementalAnalysis::new(&flows, &config, &buffers, VcConfig::single()).unwrap();
+        // The seed contract carries no burst: graph-ba collapses onto the
+        // buffer-aware bound before any arrival-curve mutation lands.
+        for index in 0..engine.flows().len() {
+            let id = FlowId(index);
+            assert_eq!(
+                engine.message_bound(Analysis::GraphBufferAware, id, 9),
+                engine.message_bound(Analysis::BufferAware, id, 9),
+            );
+        }
+        let memory = mesh.node_id(Coord::from_row_col(0, 0)).unwrap();
+        let corner = mesh.node_id(Coord::from_row_col(3, 3)).unwrap();
+        let mutations = [
+            Mutation::SetArrivalCurve(ArrivalCurve::bursty(4, 2_000)),
+            Mutation::MoveFlow {
+                id: FlowId(0),
+                src: corner,
+                dst: memory,
+            },
+            Mutation::SetBufferDepth {
+                node: memory,
+                port: Port::Local,
+                depth: 8,
+            },
+            Mutation::SetArrivalCurve(ArrivalCurve::bursty(7, 3_000).with_jitter(20)),
+            Mutation::SetArrivalCurve(ArrivalCurve::periodic(500)),
+        ];
+        for mutation in &mutations {
+            engine.apply(mutation).unwrap();
+            let curve = engine.arrival_curve().unwrap();
+            let mut oracle = GraphBufferAwareOracle::new(
+                engine.flows(),
+                &config,
+                *engine.flows().mesh(),
+                engine.buffers().clone(),
+                curve,
+            );
+            for index in 0..engine.flows().len() {
+                let id = FlowId(index);
+                for size in [1u32, 4, 9] {
+                    assert_eq!(
+                        engine.packet_bound(Analysis::GraphBufferAware, id, size),
+                        oracle.packet_bound(id, size),
+                        "packet graph-ba {id} size {size} after {mutation:?}"
+                    );
+                    assert_eq!(
+                        engine.message_bound(Analysis::GraphBufferAware, id, size),
+                        oracle.message_bound(id, size),
+                        "message graph-ba {id} size {size} after {mutation:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
     fn unknown_flows_and_inapplicable_analyses_answer_none() {
         let config = NocConfig::regular(4);
         let (_mesh, flows) = setup(3);
@@ -1010,5 +1129,11 @@ mod tests {
             None
         );
         assert_eq!(engine.message_bound(Analysis::Weighted, FlowId(0), 4), None);
+        // The graph-based bursty analysis models the WaW design only.
+        assert_eq!(
+            engine.packet_bound(Analysis::GraphBufferAware, FlowId(0), 4),
+            None
+        );
+        assert_eq!(engine.arrival_curve(), None);
     }
 }

@@ -27,6 +27,13 @@
 //! conformance campaigns proved the chained-blocking bound unsound in
 //! (multi-packet composition and off-calibration buffer depths).
 //!
+//! [`graph_buffer_aware`] extends the buffer-aware bound to **bursty**
+//! arrival-curve traffic (after Giroudot & Mifdaoui, arXiv:1911.02430): a
+//! buffer-dependency-graph pass over the heterogeneous per-port depths sizes
+//! the cost of queueing behind a flow's own burst backlog — the sixth
+//! analysis of the catalog (`docs/ORACLES.md`) and the dominance oracle of
+//! bursty conformance sweeps.
+//!
 //! [`oracle`] exposes all analyses behind one [`oracle::WcttBoundModel`]
 //! trait object so the conformance harness (`wnoc-conformance`) can
 //! cross-validate the cycle-accurate simulator against every bound uniformly.
@@ -38,6 +45,7 @@
 //! interference sets actually changed.
 
 pub mod buffer_aware;
+pub mod graph_buffer_aware;
 pub mod incremental;
 pub mod oracle;
 pub mod preemptive;
@@ -48,11 +56,12 @@ pub mod ubd;
 pub mod weighted;
 
 pub use buffer_aware::BufferAwareWcttModel;
+pub use graph_buffer_aware::GraphBufferAwareWcttModel;
 pub use incremental::{Analysis, IncrementalAnalysis, Mutation};
 pub use oracle::{
-    oracle_suite, oracle_suite_with_buffers, oracle_suite_with_counts, oracle_suite_with_vcs,
-    primary_oracle, AnalyticOnly, BufferAwareOracle, RegularOracle, SlotOracle, UbdOracle,
-    WcttBoundModel, WeightedFlavor, WeightedOracle,
+    oracle_suite, oracle_suite_with_buffers, oracle_suite_with_counts, oracle_suite_with_curve,
+    oracle_suite_with_vcs, primary_oracle, AnalyticOnly, BufferAwareOracle, GraphBufferAwareOracle,
+    RegularOracle, SlotOracle, UbdOracle, WcttBoundModel, WeightedFlavor, WeightedOracle,
 };
 pub use preemptive::PreemptiveOracle;
 pub use regular::{RegularWcttModel, RouteDelta};

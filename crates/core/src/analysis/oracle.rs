@@ -36,15 +36,17 @@
 //! `message_bound == packet_bound`, remain observable).
 
 use crate::analysis::buffer_aware::BufferAwareWcttModel;
+use crate::analysis::graph_buffer_aware::GraphBufferAwareWcttModel;
 use crate::analysis::preemptive::PreemptiveOracle;
 use crate::analysis::regular::RegularWcttModel;
 use crate::analysis::slot;
 use crate::analysis::ubd::UbdModel;
 use crate::analysis::weighted::WeightedWcttModel;
 use crate::arbitration::ArbitrationPolicy;
+use crate::arrival::ArrivalCurve;
 use crate::buffers::BufferConfig;
 use crate::config::NocConfig;
-use crate::error::Result;
+use crate::error::{Error, Result};
 use crate::flow::{FlowId, FlowSet, PortCounts};
 use crate::packetization::PacketizationPolicy;
 use crate::routing::Route;
@@ -317,6 +319,86 @@ impl WcttBoundModel for BufferAwareOracle {
 
     fn packet_bound(&mut self, id: FlowId, _own_flits: u32) -> Option<u64> {
         // As for the weighted oracles: every WaP wire packet is a
+        // minimum-size slice, so the per-packet bound is size-independent.
+        let route = self.flows.route(id)?;
+        Some(self.model.packet_wctt(route))
+    }
+
+    fn message_bound(&mut self, id: FlowId, message_flits: u32) -> Option<u64> {
+        let slices = self.slices(message_flits);
+        let route = self.flows.route(id)?;
+        Some(self.model.message_wctt(route, slices))
+    }
+}
+
+/// [`WcttBoundModel`] over the graph-based buffer-aware analysis
+/// ([`GraphBufferAwareWcttModel`]): the steady-state buffer-aware bound plus
+/// a dependency-graph burst term sized by an [`ArrivalCurve`].  The sixth
+/// analysis of the catalog (`docs/ORACLES.md`) and the dominance oracle of
+/// bursty conformance sweeps.
+///
+/// Unlike every other oracle, its dominance claim is against the
+/// **end-to-end message latencies** of the bursty driver
+/// (`Simulation::run_bursty` in `wnoc-sim`), which include queueing behind
+/// the flow's own admitted backlog — exactly the delay the burst term
+/// covers.  It requires one flow per source NIC and a stable sustained gap
+/// (see the [`crate::analysis::graph_buffer_aware`] module docs); the
+/// conformance sampler enforces both.
+#[derive(Debug, Clone)]
+pub struct GraphBufferAwareOracle {
+    model: GraphBufferAwareWcttModel,
+    flows: FlowSet,
+    config: NocConfig,
+}
+
+impl GraphBufferAwareOracle {
+    /// Builds the oracle for `flows` under the WaW + WaP configuration
+    /// `config`, the given buffer configuration over `mesh` and the arrival
+    /// contract `curve`.
+    pub fn new(
+        flows: &FlowSet,
+        config: &NocConfig,
+        mesh: Mesh,
+        buffers: BufferConfig,
+        curve: ArrivalCurve,
+    ) -> Self {
+        let slice = config.packetization.worst_case_contender_flits();
+        Self {
+            model: GraphBufferAwareWcttModel::new(
+                BufferAwareWcttModel::new(
+                    WeightTable::from_flow_set(flows),
+                    config.timing,
+                    slice,
+                    mesh,
+                    buffers,
+                ),
+                curve,
+            ),
+            flows: flows.clone(),
+            config: *config,
+        }
+    }
+
+    /// The underlying analytic model.
+    pub fn model(&self) -> &GraphBufferAwareWcttModel {
+        &self.model
+    }
+
+    fn slices(&self, message_flits: u32) -> u32 {
+        self.config
+            .packetization
+            .split_message(message_flits, self.config.geometry)
+            .len() as u32
+    }
+}
+
+impl WcttBoundModel for GraphBufferAwareOracle {
+    fn name(&self) -> &'static str {
+        "graph-ba"
+    }
+
+    fn packet_bound(&mut self, id: FlowId, _own_flits: u32) -> Option<u64> {
+        // As for the other weighted analyses: every WaP wire packet is a
         // minimum-size slice, so the per-packet bound is size-independent.
         let route = self.flows.route(id)?;
         Some(self.model.packet_wctt(route))
@@ -726,6 +808,73 @@ pub fn oracle_suite_with_counts(
     }
 }
 
+/// The **bursty-regime** suite: every analysis of the catalog over a
+/// platform whose flows follow the arrival contract `curve`, with the
+/// graph-based buffer-aware analysis as the sole dominance oracle.
+///
+/// Bursty observations are *end-to-end message latencies* (they include
+/// queueing behind the flow's own admitted backlog), which the steady-state
+/// bounds deliberately exclude — so `buffer-aware` and `weighted-bp` are
+/// demoted to analytic ordering references here, `weighted`, `ubd` and
+/// `slot` already are analytic under WaW, and only `graph-ba` (whose burst
+/// term covers the backlog) claims observation safety.  A multi-VC platform
+/// demotes `graph-ba` too, like every other weighted analysis.
+///
+/// `counts` must equal `PortCounts::from_flow_set(flows)`, as in
+/// [`oracle_suite_with_counts`].
+///
+/// # Errors
+///
+/// Returns an error if the configuration is invalid, `buffers` does not
+/// cover `mesh`, or the design is not WaW + WaP (the graph-based analysis
+/// models the weighted router only; round-robin platforms have no bursty
+/// dominance oracle yet).
+pub fn oracle_suite_with_curve(
+    flows: &FlowSet,
+    config: &NocConfig,
+    mesh: Mesh,
+    buffers: &BufferConfig,
+    vcs: VcConfig,
+    counts: PortCounts,
+    curve: ArrivalCurve,
+) -> Result<Vec<Box<dyn WcttBoundModel>>> {
+    config.validate()?;
+    buffers.validate(&mesh)?;
+    if config.arbitration != ArbitrationPolicy::Waw {
+        return Err(Error::InvalidConfig {
+            reason: "the graph-based bursty analysis models the WaW + WaP design only".to_string(),
+        });
+    }
+    let single_vc = vcs.is_single();
+    let graph = GraphBufferAwareOracle::new(flows, config, mesh, buffers.clone(), curve);
+    let graph: Box<dyn WcttBoundModel> = if single_vc {
+        Box::new(graph)
+    } else {
+        Box::new(AnalyticOnly(graph))
+    };
+    Ok(vec![
+        graph,
+        Box::new(AnalyticOnly(BufferAwareOracle::new(
+            flows,
+            config,
+            mesh,
+            buffers.clone(),
+        ))),
+        Box::new(AnalyticOnly(WeightedOracle::with_flavor(
+            flows,
+            config,
+            WeightedFlavor::Backpressured,
+        ))),
+        Box::new(WeightedOracle::with_flavor(
+            flows,
+            config,
+            WeightedFlavor::Paper,
+        )),
+        Box::new(UbdOracle::new(flows, config)?),
+        Box::new(SlotOracle::with_counts(flows, config, counts)),
+    ])
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1041,6 +1190,83 @@ mod tests {
             for mf in [1u32, 4] {
                 assert_eq!(ba.message_bound(id, mf), bp.message_bound(id, mf));
                 assert_eq!(ba.packet_bound(id, 1), bp.packet_bound(id, 1));
+            }
+        }
+    }
+
+    #[test]
+    fn bursty_suite_covers_all_six_analyses_with_graph_ba_dominating() {
+        use crate::flow::PortCounts;
+        let mesh = Mesh::square(4).unwrap();
+        let flows = FlowSet::all_to_one(&mesh, Coord::from_row_col(0, 0)).unwrap();
+        let config = NocConfig::waw_wap();
+        let curve = ArrivalCurve::bursty(4, 2_000);
+        let suite = oracle_suite_with_curve(
+            &flows,
+            &config,
+            mesh,
+            &BufferConfig::uniform(4),
+            VcConfig::single(),
+            PortCounts::from_flow_set(&flows),
+            curve,
+        )
+        .unwrap();
+        let names: Vec<&str> = suite.iter().map(|o| o.name()).collect();
+        assert_eq!(
+            names,
+            [
+                "graph-ba",
+                "buffer-aware",
+                "weighted-bp",
+                "weighted",
+                "ubd",
+                "slot"
+            ]
+        );
+        let flags: Vec<bool> = suite.iter().map(|o| o.dominates_observation()).collect();
+        assert_eq!(flags, [true, false, false, false, false, false]);
+
+        // Round robin has no bursty dominance oracle.
+        assert!(oracle_suite_with_curve(
+            &flows,
+            &NocConfig::regular(4),
+            mesh,
+            &BufferConfig::uniform(4),
+            VcConfig::single(),
+            PortCounts::from_flow_set(&flows),
+            curve,
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn graph_ba_oracle_collapses_to_buffer_aware_without_a_burst() {
+        let mesh = Mesh::square(5).unwrap();
+        let flows = FlowSet::all_to_one(&mesh, Coord::from_row_col(0, 0)).unwrap();
+        let config = NocConfig::waw_wap();
+        for depth in [1u32, 4, 16] {
+            let buffers = BufferConfig::uniform(depth);
+            let mut graph = GraphBufferAwareOracle::new(
+                &flows,
+                &config,
+                mesh,
+                buffers.clone(),
+                ArrivalCurve::periodic(1_000),
+            );
+            let mut bursty = GraphBufferAwareOracle::new(
+                &flows,
+                &config,
+                mesh,
+                buffers.clone(),
+                ArrivalCurve::bursty(6, 1_000),
+            );
+            let mut ba = BufferAwareOracle::new(&flows, &config, mesh, buffers);
+            for (id, _) in flows.iter() {
+                for mf in [1u32, 4, 9] {
+                    assert_eq!(graph.message_bound(id, mf), ba.message_bound(id, mf));
+                    assert!(bursty.message_bound(id, mf) >= ba.message_bound(id, mf));
+                }
+                assert_eq!(graph.packet_bound(id, 1), ba.packet_bound(id, 1));
             }
         }
     }

@@ -55,6 +55,7 @@
 
 pub mod analysis;
 pub mod arbitration;
+pub mod arrival;
 pub mod buffers;
 pub mod config;
 pub mod error;
@@ -70,6 +71,7 @@ pub mod vc;
 pub mod weights;
 
 pub use arbitration::ArbitrationPolicy;
+pub use arrival::ArrivalCurve;
 pub use buffers::BufferConfig;
 pub use config::{NocConfig, RouterTiming};
 pub use error::{Error, Result};

@@ -7,7 +7,9 @@
 use proptest::prelude::*;
 
 use wnoc_core::analysis::incremental::{Analysis, IncrementalAnalysis, Mutation};
-use wnoc_core::analysis::oracle_suite_with_vcs;
+use wnoc_core::analysis::{oracle_suite_with_vcs, GraphBufferAwareOracle, WcttBoundModel};
+use wnoc_core::arbitration::ArbitrationPolicy;
+use wnoc_core::arrival::ArrivalCurve;
 use wnoc_core::buffers::BufferConfig;
 use wnoc_core::config::NocConfig;
 use wnoc_core::flow::FlowSet;
@@ -42,6 +44,7 @@ struct Mirror {
     pairs: Vec<(NodeId, NodeId)>,
     buffers: BufferConfig,
     vcs: VcConfig,
+    curve: ArrivalCurve,
 }
 
 impl Mirror {
@@ -58,6 +61,7 @@ impl Mirror {
                     .with_buffer_depth(&self.mesh, node, port, depth);
             }
             Mutation::SetVcs(vcs) => self.vcs = vcs,
+            Mutation::SetArrivalCurve(curve) => self.curve = curve,
         }
     }
 }
@@ -73,7 +77,7 @@ fn draw_mutation(rng: &mut Rng, mesh: &Mesh, flow_count: usize) -> Mutation {
         }
     };
     loop {
-        match rng.below(8) {
+        match rng.below(10) {
             // Placement moves dominate the pool, mirroring the DSE driver.
             0..=2 => {
                 if flow_count == 0 {
@@ -99,7 +103,7 @@ fn draw_mutation(rng: &mut Rng, mesh: &Mesh, flow_count: usize) -> Mutation {
                 let depth = 1 + rng.below(8) as u32;
                 return Mutation::SetBufferDepth { node, port, depth };
             }
-            _ => {
+            7 => {
                 let count = 1 + rng.below(4) as u32;
                 let assignment = if rng.below(2) == 0 {
                     VcAssignment::FlowIndex
@@ -107,6 +111,12 @@ fn draw_mutation(rng: &mut Rng, mesh: &Mesh, flow_count: usize) -> Mutation {
                     VcAssignment::Distance
                 };
                 return Mutation::SetVcs(VcConfig::new(count, assignment).unwrap());
+            }
+            _ => {
+                let burst = rng.below(9) as u32;
+                let gap = 100 + rng.below(2_000) as u32;
+                let cv = rng.below(60) as u32;
+                return Mutation::SetArrivalCurve(ArrivalCurve::bursty(burst, gap).with_jitter(cv));
             }
         }
     }
@@ -139,6 +149,34 @@ fn assert_matches_scratch(engine: &mut IncrementalAnalysis, mirror: &Mirror, ids
             }
         }
     }
+    // The graph-based bursty extension joins the suite under WaW only; its
+    // bounds are pinned against a freshly-built oracle over the mirror's
+    // arrival contract.
+    if config.arbitration == ArbitrationPolicy::Waw {
+        let engine_curve = engine.arrival_curve().expect("WaW engine keeps a curve");
+        assert_eq!(engine_curve, mirror.curve, "arrival contract diverged");
+        let mut oracle = GraphBufferAwareOracle::new(
+            &flows,
+            &config,
+            mirror.mesh,
+            mirror.buffers.clone(),
+            mirror.curve,
+        );
+        for &id in ids {
+            for size in [1u32, 3, 8, 17] {
+                assert_eq!(
+                    engine.packet_bound(Analysis::GraphBufferAware, id, size),
+                    oracle.packet_bound(id, size),
+                    "packet_bound diverged: graph-ba flow {id} size {size}"
+                );
+                assert_eq!(
+                    engine.message_bound(Analysis::GraphBufferAware, id, size),
+                    oracle.message_bound(id, size),
+                    "message_bound diverged: graph-ba flow {id} size {size}"
+                );
+            }
+        }
+    }
 }
 
 fn run_sequence(side: u16, config: NocConfig, seed: u64, mutation_count: usize) {
@@ -152,6 +190,9 @@ fn run_sequence(side: u16, config: NocConfig, seed: u64, mutation_count: usize) 
         pairs: flows.pairs(),
         buffers,
         vcs: VcConfig::single(),
+        // The engine seeds its graph-based analysis with the burst-free
+        // contract.
+        curve: ArrivalCurve::periodic(1),
     };
     let mut rng = Rng(seed | 1);
     for step in 0..mutation_count {

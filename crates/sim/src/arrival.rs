@@ -1,0 +1,201 @@
+//! Arrival-curve traffic scheduling: turning per-flow
+//! [`ArrivalCurve`] contracts (and replayed workload traces) into explicit
+//! per-cycle offer schedules the [`crate::sim::Simulation`] drivers execute.
+//!
+//! A [`ScheduledTraffic`] is the open-loop counterpart of the closed-loop
+//! probing discipline: every message carries an absolute release cycle fixed
+//! *before* the run, so the offered load is independent of how the network
+//! behaves — exactly the semantics of an arrival curve, and the first traffic
+//! shape of this crate whose observed worst case depends on arrival phasing.
+//!
+//! [`schedule_for`] samples one flow's release cycles from its curve: the
+//! first `b` messages release back to back at the curve's phase, the tail
+//! follows the sustained gap, and a non-zero coefficient of variation delays
+//! each release independently by up to [`ArrivalCurve::jitter_allowance`]
+//! cycles (delay-only jitter: releases are never moved *earlier*, so the
+//! cumulative envelope — and with it the graph-based bound's burst model —
+//! is preserved).  Sampling is deterministic per `(seed, lane)`.
+
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use wnoc_core::{ArrivalCurve, NodeId};
+
+/// Per-lane seed mixing constant (splitmix64 golden-ratio increment), the
+/// same scheme the workload generators use to split one scenario seed into
+/// independent streams.
+const LANE_SALT: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// One message release of an open-loop schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScheduledMessage {
+    /// Absolute release cycle, relative to the start of the run.
+    pub cycle: u64,
+    /// Source node.
+    pub src: NodeId,
+    /// Destination node.
+    pub dst: NodeId,
+    /// Message size in flits (before packetization).
+    pub size_flits: u32,
+}
+
+/// A complete open-loop offer schedule, sorted by release cycle.
+///
+/// Messages sharing a release cycle keep their construction order (the sort
+/// is stable), so a schedule built in flow-id order offers in flow-id order —
+/// the property that makes replay runs bit-for-bit reproducible under both
+/// the event-horizon and the dense kernels.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ScheduledTraffic {
+    messages: Vec<ScheduledMessage>,
+}
+
+impl ScheduledTraffic {
+    /// Builds a schedule from `messages`, stably sorting them by release
+    /// cycle.
+    pub fn new(mut messages: Vec<ScheduledMessage>) -> Self {
+        messages.sort_by_key(|m| m.cycle);
+        Self { messages }
+    }
+
+    /// The schedule's messages in release order.
+    pub fn messages(&self) -> &[ScheduledMessage] {
+        &self.messages
+    }
+
+    /// Number of scheduled messages.
+    pub fn len(&self) -> usize {
+        self.messages.len()
+    }
+
+    /// Returns `true` if nothing is scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.messages.is_empty()
+    }
+
+    /// The last release cycle of the schedule (0 when empty).
+    pub fn horizon(&self) -> u64 {
+        self.messages.last().map_or(0, |m| m.cycle)
+    }
+
+    /// Total scheduled flits.
+    pub fn total_flits(&self) -> u64 {
+        self.messages.iter().map(|m| u64::from(m.size_flits)).sum()
+    }
+}
+
+/// Samples one flow's release cycles over `[0, horizon]` from its arrival
+/// curve.
+///
+/// Exactly [`ArrivalCurve::message_count`]`(horizon)` releases are returned
+/// — jitter delays individual releases (clamped to `horizon`) but never
+/// drops or adds one, so the offered load is a function of the curve alone.
+/// The returned cycles are non-decreasing.  `lane` splits `seed` into
+/// independent jitter streams, one per flow, with the same golden-ratio
+/// mixing the workload generators use.
+pub fn schedule_for(curve: &ArrivalCurve, horizon: u64, seed: u64, lane: u64) -> Vec<u64> {
+    let count = curve.message_count(horizon);
+    let allowance = curve.jitter_allowance();
+    let mut rng = (allowance > 0)
+        .then(|| ChaCha8Rng::seed_from_u64(seed ^ (lane + 1).wrapping_mul(LANE_SALT)));
+    let mut arrivals = Vec::with_capacity(count as usize);
+    let mut last = 0u64;
+    for j in 0..count {
+        let mut release = curve.nominal_arrival(j);
+        if let Some(rng) = &mut rng {
+            release = release
+                .saturating_add(rng.gen_range(0..=allowance))
+                .min(horizon);
+        }
+        // Delay-only jitter keeps releases ordered; the max guards the edge
+        // where a clamped-late release follows an unclamped one.
+        last = release.max(last);
+        arrivals.push(last);
+    }
+    arrivals
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedule_releases_exactly_the_envelope_count() {
+        for (burst, gap, cv) in [(1u32, 100u32, 0u32), (4, 250, 0), (4, 250, 50), (8, 33, 25)] {
+            let curve = ArrivalCurve::bursty(burst, gap).with_jitter(cv);
+            for horizon in [0u64, 99, 100, 5_000] {
+                let arrivals = schedule_for(&curve, horizon, 7, 3);
+                assert_eq!(
+                    arrivals.len() as u64,
+                    curve.message_count(horizon),
+                    "burst {burst} gap {gap} cv {cv} horizon {horizon}"
+                );
+                assert!(arrivals.iter().all(|&t| t <= horizon));
+                assert!(arrivals.windows(2).all(|w| w[0] <= w[1]));
+            }
+        }
+    }
+
+    #[test]
+    fn schedule_is_deterministic_per_seed_and_lane() {
+        let curve = ArrivalCurve::bursty(5, 120).with_jitter(40);
+        let a = schedule_for(&curve, 10_000, 42, 0);
+        let b = schedule_for(&curve, 10_000, 42, 0);
+        assert_eq!(a, b);
+        assert_ne!(a, schedule_for(&curve, 10_000, 43, 0));
+        assert_ne!(a, schedule_for(&curve, 10_000, 42, 1));
+    }
+
+    #[test]
+    fn zero_jitter_matches_the_nominal_curve_exactly() {
+        let curve = ArrivalCurve::bursty(3, 200).with_phase(50);
+        let arrivals = schedule_for(&curve, 1_000, 9, 9);
+        let nominal: Vec<u64> = (0..curve.message_count(1_000))
+            .map(|j| curve.nominal_arrival(j))
+            .collect();
+        assert_eq!(arrivals, nominal);
+    }
+
+    #[test]
+    fn jitter_never_advances_a_release() {
+        let curve = ArrivalCurve::bursty(6, 90).with_jitter(50);
+        let arrivals = schedule_for(&curve, 4_000, 11, 2);
+        for (j, &t) in arrivals.iter().enumerate() {
+            assert!(
+                t >= curve.nominal_arrival(j as u64),
+                "release {j} moved early"
+            );
+        }
+    }
+
+    #[test]
+    fn schedules_sort_stably_by_cycle() {
+        let traffic = ScheduledTraffic::new(vec![
+            ScheduledMessage {
+                cycle: 5,
+                src: NodeId(1),
+                dst: NodeId(0),
+                size_flits: 4,
+            },
+            ScheduledMessage {
+                cycle: 0,
+                src: NodeId(2),
+                dst: NodeId(0),
+                size_flits: 4,
+            },
+            ScheduledMessage {
+                cycle: 5,
+                src: NodeId(3),
+                dst: NodeId(0),
+                size_flits: 4,
+            },
+        ]);
+        let srcs: Vec<usize> = traffic.messages().iter().map(|m| m.src.index()).collect();
+        assert_eq!(srcs, vec![2, 1, 3]);
+        assert_eq!(traffic.horizon(), 5);
+        assert_eq!(traffic.len(), 3);
+        assert_eq!(traffic.total_flits(), 12);
+        assert!(ScheduledTraffic::default().is_empty());
+    }
+}

@@ -15,7 +15,9 @@
 //!   [`network`], [`stats`];
 //! * synthetic traffic generators and high-level drivers, including the
 //!   saturated hotspot runs used to observe worst-case behaviour — [`traffic`],
-//!   [`sim`].
+//!   [`sim`];
+//! * open-loop arrival-curve and trace-replay scheduling for bursty traffic —
+//!   [`arrival`].
 //!
 //! Execution uses an allocation-free **event-horizon kernel**: all in-flight
 //! flits live in one [`arena`] slab and every queue holds 4-byte handles,
@@ -52,6 +54,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod arena;
+pub mod arrival;
 pub mod buffer;
 pub mod hash;
 pub mod link;
@@ -63,6 +66,7 @@ pub mod stats;
 pub mod traffic;
 
 pub use arena::{FlitArena, FlitId};
+pub use arrival::{schedule_for, ScheduledMessage, ScheduledTraffic};
 pub use network::{Delivered, Network};
 pub use sim::{SaturatedReport, Simulation};
 pub use stats::{LatencyStats, NetworkStats};

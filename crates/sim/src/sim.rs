@@ -8,6 +8,9 @@ use serde::{Deserialize, Serialize};
 use wnoc_core::flow::FlowSet;
 use wnoc_core::{Coord, FlowId, Mesh, NocConfig, NodeId, Result};
 
+use wnoc_core::ArrivalCurve;
+
+use crate::arrival::{schedule_for, ScheduledMessage, ScheduledTraffic};
 use crate::network::Network;
 use crate::stats::{LatencyStats, NetworkStats};
 use crate::traffic::RandomTraffic;
@@ -362,6 +365,98 @@ impl Simulation {
         Ok(SaturatedReport {
             measured_cycles: cycles,
             per_flow: self.network.stats().traversal_latency.clone(),
+        })
+    }
+
+    /// Executes an open-loop [`ScheduledTraffic`]: every message is offered
+    /// at exactly its scheduled release cycle, regardless of network state,
+    /// and the network then drains completely.
+    ///
+    /// Unlike every closed-loop driver the reported per-flow statistics are
+    /// **end-to-end message latencies** (offer to delivery of the last flit),
+    /// not traversal latencies: an open-loop release can queue behind its own
+    /// flow's backlog in the source NIC, and that self-queueing is precisely
+    /// the delay bursty analysis must cover.  The driver advances horizon to
+    /// horizon between releases, so reports are bit-for-bit identical under
+    /// the event-horizon and dense kernels.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if a scheduled message is invalid for the mesh, and
+    /// [`wnoc_core::Error::SimulationStalled`] if the network fails to drain
+    /// within `4 * horizon + 10_000` cycles after the last release.
+    pub fn run_schedule(&mut self, schedule: &ScheduledTraffic) -> Result<SaturatedReport> {
+        let start = self.network.cycle();
+        let mut index = 0;
+        let messages = schedule.messages();
+        while index < messages.len() {
+            let target = start + messages[index].cycle;
+            while self.network.cycle() < target {
+                if self.network.try_worm_fast_forward(target) {
+                    continue;
+                }
+                let horizon = match self.network.next_horizon() {
+                    Some(horizon) => horizon.min(target),
+                    // Nothing in flight: jump straight to the release.
+                    None => target,
+                };
+                self.network.advance_to(horizon);
+            }
+            while index < messages.len() && start + messages[index].cycle == target {
+                let msg = &messages[index];
+                self.network.offer(msg.src, msg.dst, msg.size_flits)?;
+                index += 1;
+            }
+        }
+        self.network
+            .step_until_quiescent(4 * schedule.horizon() + 10_000)?;
+        Ok(SaturatedReport {
+            measured_cycles: schedule.horizon(),
+            per_flow: self.network.stats().message_latency.clone(),
+        })
+    }
+
+    /// Runs every flow of `flows` as an open-loop [`ArrivalCurve`] source
+    /// over a `cycles`-cycle release window: per flow, up to `b` messages
+    /// release back to back followed by the sustained gap, with optional
+    /// seeded inter-arrival jitter (see [`schedule_for`]; flow index = jitter
+    /// lane, so the run is deterministic per `seed`).
+    ///
+    /// Reported statistics are end-to-end message latencies — see
+    /// [`Simulation::run_schedule`] for why bursty runs must charge
+    /// self-queueing, which the closed-loop probing discipline excludes by
+    /// construction.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if a flow is invalid for the mesh, and
+    /// [`wnoc_core::Error::SimulationStalled`] if the network fails to drain
+    /// after the release window — an unstable curve (sustained rate above
+    /// the service rate) surfaces as this error rather than as a silently
+    /// truncated report.
+    pub fn run_bursty(
+        &mut self,
+        flows: &FlowSet,
+        message_flits: u32,
+        curve: &ArrivalCurve,
+        cycles: u64,
+        seed: u64,
+    ) -> Result<SaturatedReport> {
+        let mut messages = Vec::new();
+        for (id, flow) in flows.iter() {
+            for cycle in schedule_for(curve, cycles, seed, id.0 as u64) {
+                messages.push(ScheduledMessage {
+                    cycle,
+                    src: flow.src,
+                    dst: flow.dst,
+                    size_flits: message_flits,
+                });
+            }
+        }
+        let report = self.run_schedule(&ScheduledTraffic::new(messages))?;
+        Ok(SaturatedReport {
+            measured_cycles: cycles,
+            ..report
         })
     }
 

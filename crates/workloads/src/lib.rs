@@ -10,7 +10,9 @@
 //!   the Honeywell avionics application: wavefront expansion over a 3D obstacle
 //!   grid, with per-phase memory traces derived from the planner's actual work
 //!   (used for the Figure 2 experiments);
-//! * [`placement`] — the four thread placements P0–P3 of Figure 2(b).
+//! * [`placement`] — the four thread placements P0–P3 of Figure 2(b);
+//! * [`replay`] — trace replay: the same traces as timed open-loop message
+//!   schedules for the cycle-accurate simulator (`wnoc_sim`).
 //!
 //! # Example
 //!
@@ -28,7 +30,9 @@
 pub mod avionics;
 pub mod eembc;
 pub mod placement;
+pub mod replay;
 
 pub use avionics::{default_scenario, ObstacleGrid, PathPlanner, PlanOutcome, TrafficModel};
 pub use eembc::{suite_traces, BenchmarkProfile, EembcBenchmark};
 pub use placement::Placement;
+pub use replay::{eembc_suite_schedule, parallel_phases_schedule, trace_schedule};

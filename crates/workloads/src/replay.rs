@@ -1,0 +1,203 @@
+//! Trace replay: converting the workload memory traces into open-loop
+//! [`ScheduledTraffic`] the simulator executes directly.
+//!
+//! The WCET experiments consume traces *analytically* (through
+//! `wnoc_manycore::WcetEstimator`); replay feeds the very same traces into
+//! the cycle-accurate network instead, as timed message releases — the
+//! trace-driven counterpart of the synthetic [`wnoc_core::ArrivalCurve`]
+//! sources.  Each trace event's computation burst advances the release
+//! clock, and each memory access releases one message toward the memory
+//! controller, so the offered traffic reproduces the benchmark's access
+//! spacing and burstiness exactly (and deterministically: traces are
+//! seed-generated, replay adds no randomness of its own).
+
+use wnoc_core::{Coord, Error, Mesh, NodeId, Result};
+use wnoc_manycore::trace::Trace;
+use wnoc_manycore::wcet::ParallelPhase;
+use wnoc_sim::{ScheduledMessage, ScheduledTraffic};
+
+use crate::eembc::suite_traces;
+
+/// Converts one thread's trace into timed message releases from `src` to
+/// `dst`, starting the thread's clock at cycle `offset`.
+///
+/// Every access event (load or eviction alike — both cross the NoC) releases
+/// one `size_flits`-flit message at the cumulative compute time reached so
+/// far, so the returned schedule carries exactly
+/// [`Trace::total_accesses`] messages with non-decreasing release cycles.
+pub fn trace_schedule(
+    trace: &Trace,
+    src: NodeId,
+    dst: NodeId,
+    size_flits: u32,
+    offset: u64,
+) -> Vec<ScheduledMessage> {
+    let mut clock = offset;
+    let mut out = Vec::new();
+    for event in trace.events() {
+        clock = clock.saturating_add(event.compute_cycles);
+        if event.access.is_some() {
+            out.push(ScheduledMessage {
+                cycle: clock,
+                src,
+                dst,
+                size_flits,
+            });
+        }
+    }
+    out
+}
+
+/// The replay schedule of the full EEMBC suite: the sixteen benchmarks are
+/// placed on the first sixteen non-memory routers (router-scan order) and
+/// every memory access becomes a `size_flits`-flit message toward the
+/// controller at `memory`.
+///
+/// # Errors
+///
+/// Returns [`Error::InvalidConfig`] if the mesh has fewer than seventeen
+/// routers (sixteen cores plus the controller) or `memory` lies outside it.
+pub fn eembc_suite_schedule(
+    mesh: &Mesh,
+    memory: Coord,
+    seed: u64,
+    size_flits: u32,
+) -> Result<ScheduledTraffic> {
+    let dst = mesh.node_id(memory)?;
+    let traces = suite_traces(seed);
+    let cores: Vec<NodeId> = mesh
+        .routers()
+        .filter(|&c| c != memory)
+        .take(traces.len())
+        .map(|c| mesh.node_id(c))
+        .collect::<Result<_>>()?;
+    if cores.len() < traces.len() {
+        return Err(Error::InvalidConfig {
+            reason: format!(
+                "EEMBC replay needs {} cores beside the memory controller, mesh offers {}",
+                traces.len(),
+                cores.len()
+            ),
+        });
+    }
+    let mut messages = Vec::new();
+    for (src, (_benchmark, trace)) in cores.into_iter().zip(&traces) {
+        messages.extend(trace_schedule(trace, src, dst, size_flits, 0));
+    }
+    Ok(ScheduledTraffic::new(messages))
+}
+
+/// The replay schedule of a barrier-synchronised parallel application (the
+/// avionics planner's [`ParallelPhase`]s): within a phase every placed
+/// thread replays concurrently from the phase's start; the next phase starts
+/// one cycle after the *longest* thread of the current phase finishes its
+/// computation — the barrier the WCET composition assumes.
+///
+/// # Errors
+///
+/// Returns [`Error::InvalidConfig`] if a thread is placed outside the mesh
+/// or on the memory controller.
+pub fn parallel_phases_schedule(
+    phases: &[ParallelPhase],
+    mesh: &Mesh,
+    memory: Coord,
+    size_flits: u32,
+) -> Result<ScheduledTraffic> {
+    let dst = mesh.node_id(memory)?;
+    let mut messages = Vec::new();
+    let mut offset = 0u64;
+    for phase in phases {
+        let mut phase_end = offset;
+        for (core, trace) in &phase.threads {
+            if *core == memory {
+                return Err(Error::InvalidConfig {
+                    reason: "a thread cannot be placed on the memory controller".to_string(),
+                });
+            }
+            let src = mesh.node_id(*core)?;
+            messages.extend(trace_schedule(trace, src, dst, size_flits, offset));
+            phase_end = phase_end.max(offset.saturating_add(trace.total_compute_cycles()));
+        }
+        offset = phase_end.saturating_add(1);
+    }
+    Ok(ScheduledTraffic::new(messages))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wnoc_manycore::trace::TraceEvent;
+
+    use crate::avionics::{default_scenario, TrafficModel};
+    use crate::placement::Placement;
+
+    #[test]
+    fn trace_schedule_releases_one_message_per_access() {
+        let trace = Trace::from_events(vec![
+            TraceEvent::compute(10),
+            TraceEvent::load_after(5),
+            TraceEvent::eviction_after(3),
+            TraceEvent::compute(7),
+            TraceEvent::load_after(2),
+        ]);
+        let messages = trace_schedule(&trace, NodeId(3), NodeId(0), 4, 100);
+        assert_eq!(messages.len() as u64, trace.total_accesses());
+        let cycles: Vec<u64> = messages.iter().map(|m| m.cycle).collect();
+        assert_eq!(cycles, vec![115, 118, 127]);
+        assert!(messages
+            .iter()
+            .all(|m| m.src == NodeId(3) && m.size_flits == 4));
+    }
+
+    #[test]
+    fn eembc_suite_replay_is_deterministic_and_complete() {
+        let mesh = Mesh::square(5).unwrap();
+        let memory = Coord::from_row_col(0, 0);
+        let a = eembc_suite_schedule(&mesh, memory, 42, 2).unwrap();
+        let b = eembc_suite_schedule(&mesh, memory, 42, 2).unwrap();
+        assert_eq!(a, b);
+        assert_ne!(a, eembc_suite_schedule(&mesh, memory, 43, 2).unwrap());
+        let expected: u64 = suite_traces(42)
+            .iter()
+            .map(|(_, t)| t.total_accesses())
+            .sum();
+        assert_eq!(a.len() as u64, expected);
+        // A 4×4 mesh cannot host the sixteen benchmarks plus the controller.
+        let small = Mesh::square(4).unwrap();
+        assert!(eembc_suite_schedule(&small, memory, 42, 2).is_err());
+    }
+
+    #[test]
+    fn avionics_phases_serialize_behind_barriers() {
+        let mesh = Mesh::square(4).unwrap();
+        let memory = Coord::from_row_col(0, 0);
+        let cores: Vec<Coord> = mesh.routers().filter(|&c| c != memory).take(4).collect();
+        let placement = Placement::new("test", cores, &mesh, memory).unwrap();
+        let planner = default_scenario(7).unwrap();
+        let phases = planner
+            .parallel_phases(&placement, TrafficModel::default())
+            .unwrap();
+        let schedule = parallel_phases_schedule(&phases, &mesh, memory, 1).unwrap();
+        let expected: u64 = phases
+            .iter()
+            .flat_map(|p| p.threads.iter())
+            .map(|(_, t)| t.total_accesses())
+            .sum();
+        assert_eq!(schedule.len() as u64, expected);
+        // Phase k+1 releases strictly after phase k's longest thread: the
+        // last release of the whole schedule sits beyond the summed phase
+        // lengths of all but the final phase.
+        let min_start: u64 = phases[..phases.len() - 1]
+            .iter()
+            .map(|p| {
+                p.threads
+                    .iter()
+                    .map(|(_, t)| t.total_compute_cycles())
+                    .max()
+                    .unwrap_or(0)
+                    + 1
+            })
+            .sum();
+        assert!(schedule.horizon() >= min_start);
+    }
+}
