@@ -5,8 +5,9 @@
 //!
 //! Usage: `expt-campaign --dir DIR [--scenarios N] [--seed S] [--shards K]
 //!                       [--workers W]
-//!                       [--buffer-depths | --vc-sweep | --bursty-sweep]
-//!                       [--report PATH] [--fresh] [--halt-after-shards N]`
+//!                       [--buffer-depths | --vc-sweep | --bursty-sweep | --fault-sweep]
+//!                       [--report PATH] [--fresh] [--halt-after-shards N]
+//!                       [--shard-timeout-secs T]`
 //!
 //! Exit codes: 0 on a clean pass, 1 on violations or campaign errors, 2 on
 //! usage errors, 3 when `--halt-after-shards` stopped the invocation early
@@ -30,6 +31,11 @@
 //! snapshot-testable; paths and timing go to stderr.  Exits non-zero if any
 //! dominance or ordering violation is found.
 //!
+//! `--shard-timeout-secs T` arms the per-shard watchdog: a worker still
+//! running after T seconds is killed and its shard retried once; a second
+//! overrun aborts the campaign (exit 1) naming the shard — completed shards
+//! stay checkpointed, so a plain re-invocation resumes.
+//!
 //! The internal flag `--worker-shard K` is how the orchestrator invokes
 //! itself as a shard worker; it is not part of the user interface.
 
@@ -52,9 +58,11 @@ fn main() {
     let mut buffer_depths = false;
     let mut vc_sweep = false;
     let mut bursty_sweep = false;
+    let mut fault_sweep = false;
     let mut report_path: Option<String> = None;
     let mut fresh = false;
     let mut halt_after: Option<usize> = None;
+    let mut shard_timeout_secs: Option<u64> = None;
     let mut worker_shard: Option<usize> = None;
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
@@ -81,6 +89,7 @@ fn main() {
             "--buffer-depths" => buffer_depths = true,
             "--vc-sweep" => vc_sweep = true,
             "--bursty-sweep" => bursty_sweep = true,
+            "--fault-sweep" => fault_sweep = true,
             "--report" => report_path = Some(value("--report")),
             "--fresh" => fresh = true,
             "--halt-after-shards" => {
@@ -88,6 +97,13 @@ fn main() {
                     value("--halt-after-shards")
                         .parse()
                         .expect("--halt-after-shards takes a number"),
+                );
+            }
+            "--shard-timeout-secs" => {
+                shard_timeout_secs = Some(
+                    value("--shard-timeout-secs")
+                        .parse()
+                        .expect("--shard-timeout-secs takes a number of seconds"),
                 );
             }
             "--worker-shard" => {
@@ -102,8 +118,9 @@ fn main() {
                     "unknown argument {unknown}; usage: \
                      expt-campaign --dir DIR [--scenarios N] [--seed S] \
                      [--shards K] [--workers W] \
-                     [--buffer-depths | --vc-sweep | --bursty-sweep] \
-                     [--report PATH] [--fresh] [--halt-after-shards N]\n\
+                     [--buffer-depths | --vc-sweep | --bursty-sweep | --fault-sweep] \
+                     [--report PATH] [--fresh] [--halt-after-shards N] \
+                     [--shard-timeout-secs T]\n\
                      exit codes: 0 pass, 1 violations or campaign error, \
                      2 usage error, 3 halted early by --halt-after-shards \
                      (resumable — re-invoke with the same flags)"
@@ -116,13 +133,16 @@ fn main() {
         eprintln!("expt-campaign requires --dir DIR (the campaign checkpoint directory)");
         std::process::exit(2);
     };
-    if [buffer_depths, vc_sweep, bursty_sweep]
+    if [buffer_depths, vc_sweep, bursty_sweep, fault_sweep]
         .iter()
         .filter(|&&f| f)
         .count()
         > 1
     {
-        eprintln!("--buffer-depths, --vc-sweep and --bursty-sweep are mutually exclusive");
+        eprintln!(
+            "--buffer-depths, --vc-sweep, --bursty-sweep and --fault-sweep are \
+             mutually exclusive"
+        );
         std::process::exit(2);
     }
 
@@ -132,10 +152,15 @@ fn main() {
         Campaign::vc_sweep(seed, scenarios)
     } else if bursty_sweep {
         Campaign::bursty_sweep(seed, scenarios)
+    } else if fault_sweep {
+        Campaign::fault_sweep(seed, scenarios)
     } else {
         Campaign::new(seed, scenarios)
     };
-    let fleet = Fleet::new(campaign, shards, &dir);
+    let mut fleet = Fleet::new(campaign, shards, &dir);
+    if let Some(secs) = shard_timeout_secs {
+        fleet = fleet.with_shard_timeout(std::time::Duration::from_secs(secs));
+    }
 
     // Worker mode: run exactly one shard, commit its checkpoint, exit.
     // Spawned by the orchestrator below with the same campaign flags.
@@ -179,6 +204,9 @@ fn main() {
         }
         if bursty_sweep {
             command.arg("--bursty-sweep");
+        }
+        if fault_sweep {
+            command.arg("--fault-sweep");
         }
         command.spawn()
     };

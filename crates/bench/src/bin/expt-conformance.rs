@@ -3,7 +3,8 @@
 //! the parallel campaign runner.
 //!
 //! Usage: `expt-conformance [--scenarios N] [--seed S] [--threads T]
-//!                           [--buffer-depths | --vc-sweep | --bursty-sweep]
+//!                           [--buffer-depths | --vc-sweep | --bursty-sweep
+//!                            | --fault-sweep]
 //!                           [--report PATH]`
 //!
 //! Defaults: 200 scenarios, seed 7, one worker per available core.  With
@@ -13,7 +14,11 @@
 //! dimension (VC counts 1–4 crossed with both static flow → VC assignment
 //! rules) instead; with `--bursty-sweep` it samples bursty arrival-curve
 //! scenarios checked against the graph-based buffer-aware oracle (see
-//! `docs/ORACLES.md`); with `--report PATH` the machine-readable JSON
+//! `docs/ORACLES.md`); with `--fault-sweep` it injects sampled link/router
+//! failures — cycle-0 activations are held to freshly built degraded-mode
+//! oracles over the up*/down* rerouted flows, mid-run activations must
+//! drain without deadlock (see `docs/ORACLES.md`); with `--report PATH` the
+//! machine-readable JSON
 //! report is written to PATH (the nightly CI artifact).  The stdout summary
 //! depends only on `(scenarios, seed, dimension)` — never on the worker
 //! count — so it is snapshot-testable; timing goes to stderr.  Exits
@@ -34,6 +39,7 @@ fn main() {
     let mut buffer_depths = false;
     let mut vc_sweep = false;
     let mut bursty_sweep = false;
+    let mut fault_sweep = false;
     let mut report_path: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
@@ -56,24 +62,29 @@ fn main() {
             "--buffer-depths" => buffer_depths = true,
             "--vc-sweep" => vc_sweep = true,
             "--bursty-sweep" => bursty_sweep = true,
+            "--fault-sweep" => fault_sweep = true,
             "--report" => report_path = Some(value("--report")),
             unknown => {
                 eprintln!(
                     "unknown argument {unknown}; usage: \
                      expt-conformance [--scenarios N] [--seed S] [--threads T] \
-                     [--buffer-depths | --vc-sweep | --bursty-sweep] [--report PATH]"
+                     [--buffer-depths | --vc-sweep | --bursty-sweep | --fault-sweep] \
+                     [--report PATH]"
                 );
                 std::process::exit(2);
             }
         }
     }
-    if [buffer_depths, vc_sweep, bursty_sweep]
+    if [buffer_depths, vc_sweep, bursty_sweep, fault_sweep]
         .iter()
         .filter(|&&f| f)
         .count()
         > 1
     {
-        eprintln!("--buffer-depths, --vc-sweep and --bursty-sweep are mutually exclusive");
+        eprintln!(
+            "--buffer-depths, --vc-sweep, --bursty-sweep and --fault-sweep are \
+             mutually exclusive"
+        );
         std::process::exit(2);
     }
 
@@ -83,6 +94,8 @@ fn main() {
         Campaign::vc_sweep(seed, scenarios)
     } else if bursty_sweep {
         Campaign::bursty_sweep(seed, scenarios)
+    } else if fault_sweep {
+        Campaign::fault_sweep(seed, scenarios)
     } else {
         Campaign::new(seed, scenarios)
     };

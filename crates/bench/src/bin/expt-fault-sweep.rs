@@ -1,0 +1,22 @@
+//! Degraded-mode WCTT sweep (`F1`): link/router faults as a design concern.
+//!
+//! Injects pinned permanent faults (1–3 severed links, one dead router)
+//! into the all-to-one hotspot platform on the 4×4 and 8×8 meshes, reroutes
+//! the survivors over the up*/down* spanning forest and prints observed
+//! closed-loop worst latencies next to the healthy XY bound and the freshly
+//! built degraded bound, then repeats the faults with mid-run activation to
+//! pin the epoch-flush/retransmission drain invariant (see
+//! `wnoc_bench::fault_sweep`).  No arguments; the output is fully
+//! deterministic and golden-snapshot-tested.
+
+use wnoc_bench::fault_sweep::FaultSweepTable;
+
+fn main() {
+    match FaultSweepTable::generate() {
+        Ok(table) => print!("{}", table.render()),
+        Err(error) => {
+            eprintln!("fault sweep failed: {error}");
+            std::process::exit(1);
+        }
+    }
+}

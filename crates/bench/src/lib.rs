@@ -16,6 +16,7 @@
 //! | B1 | Buffer-depth sweep (bound vs depth, not in paper) | [`buffer_sweep`] | `expt-buffer-sweep` |
 //! | V1 | Virtual-channel sweep (bound vs VC count, not in paper) | [`vc_sweep`] | `expt-vc-sweep` |
 //! | Bu1 | Bursty sweep (bound vs burst + trace replay, not in paper) | [`bursty_sweep`] | `expt-bursty-sweep` |
+//! | F1 | Fault sweep (degraded-mode WCTT under link/router faults, not in paper) | [`fault_sweep`] | `expt-fault-sweep` |
 //! | C1 | Conformance campaign (sim vs analytic bounds) | `wnoc-conformance` | `expt-conformance` |
 //!
 //! Criterion benchmarks under `benches/` measure the cost of regenerating each
@@ -36,6 +37,7 @@ pub mod ablation;
 pub mod avg_perf;
 pub mod buffer_sweep;
 pub mod bursty_sweep;
+pub mod fault_sweep;
 pub mod fig2;
 pub mod slot;
 pub mod table1;
@@ -47,6 +49,7 @@ pub use ablation::Ablation;
 pub use avg_perf::{AveragePerformance, AvgPerfParams};
 pub use buffer_sweep::BufferSweepTable;
 pub use bursty_sweep::BurstySweepTable;
+pub use fault_sweep::FaultSweepTable;
 pub use fig2::{Fig2Params, Figure2};
 pub use slot::SlotModel;
 pub use table1::Table1;

@@ -18,6 +18,7 @@ use wnoc_conformance::Campaign;
 
 const EXE: &str = env!("CARGO_BIN_EXE_expt-campaign");
 const STALL_ENV: &str = wnoc_conformance::fleet::STALL_ENV;
+const STALL_ONCE_ENV: &str = wnoc_conformance::fleet::STALL_ONCE_ENV;
 
 fn temp_dir(tag: &str) -> PathBuf {
     let dir = std::env::temp_dir().join(format!("wnoc-fleet-it-{}-{tag}", std::process::id()));
@@ -213,6 +214,83 @@ fn halted_campaign_resumes_byte_identically() {
     let status = String::from_utf8_lossy(&output.stdout);
     assert!(status.contains("reused"), "resume reuses the halted shard");
 
+    let report = std::fs::read_to_string(dir.join("report.json")).unwrap();
+    assert_eq!(report, reference_json(SCENARIOS), "byte-identical report");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Watchdog recovery: every shard's *first* attempt hangs (stall-once env),
+/// the per-shard timeout kills it, and the automatic retry — which does not
+/// stall — completes the campaign byte-identically.  Attempt counters prove
+/// each shard ran exactly twice.
+#[test]
+fn watchdog_kills_hung_worker_and_retry_succeeds() {
+    let dir = temp_dir("watchdog-retry");
+    const SCENARIOS: usize = 4;
+    const SHARDS: usize = 2;
+
+    let output = campaign_cmd(&dir, SCENARIOS, SHARDS)
+        .arg("--shard-timeout-secs")
+        .arg("2")
+        .arg("--report")
+        .arg(dir.join("report.json"))
+        .env(STALL_ONCE_ENV, "60000")
+        .output()
+        .expect("run campaign under watchdog");
+    assert!(
+        output.status.success(),
+        "watchdog retry failed:\n{}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    for shard in 0..SHARDS {
+        assert_eq!(attempts(&dir, shard), 2, "shard {shard} was killed once");
+    }
+
+    let report = std::fs::read_to_string(dir.join("report.json")).unwrap();
+    assert_eq!(report, reference_json(SCENARIOS), "byte-identical report");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Watchdog escalation: a worker that hangs on *every* attempt is killed
+/// twice and the campaign aborts with the permanent shard failure (exit 1,
+/// stderr names the shard); nothing about the directory prevents a later
+/// resume once the hang is fixed.
+#[test]
+fn watchdog_double_timeout_fails_the_shard_permanently() {
+    let dir = temp_dir("watchdog-fail");
+    const SCENARIOS: usize = 2;
+    const SHARDS: usize = 1;
+
+    let output = campaign_cmd(&dir, SCENARIOS, SHARDS)
+        .arg("--shard-timeout-secs")
+        .arg("1")
+        .env(STALL_ENV, "60000")
+        .output()
+        .expect("run campaign with a permanently hung worker");
+    assert_eq!(
+        output.status.code(),
+        Some(1),
+        "double timeout exits 1:\n{}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(
+        stderr.contains("shard 000 failed permanently"),
+        "stderr names the failed shard: {stderr}"
+    );
+    assert_eq!(attempts(&dir, 0), 2, "both attempts were recorded");
+
+    // The hang "fixed" (env cleared), a plain re-invocation completes.
+    let output = campaign_cmd(&dir, SCENARIOS, SHARDS)
+        .arg("--report")
+        .arg(dir.join("report.json"))
+        .output()
+        .expect("resume campaign");
+    assert!(
+        output.status.success(),
+        "resume failed:\n{}",
+        String::from_utf8_lossy(&output.stderr)
+    );
     let report = std::fs::read_to_string(dir.join("report.json")).unwrap();
     assert_eq!(report, reference_json(SCENARIOS), "byte-identical report");
     let _ = std::fs::remove_dir_all(&dir);

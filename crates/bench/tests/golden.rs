@@ -277,6 +277,42 @@ fn golden_expt_conformance_bursty_sweep() {
     );
 }
 
+/// The same campaign over the fault-injection dimension: pins the fault
+/// sampler, the up*/down* reroute, the degraded-oracle verdicts and the
+/// mid-run drain checks — plus the v4 checkpoint tag via the fleet path.
+/// Slow in debug, covered in release by CI.
+#[test]
+#[cfg_attr(debug_assertions, ignore = "slow in debug; run in release")]
+fn golden_expt_conformance_fault_sweep() {
+    check_golden(
+        "expt-conformance-fault-sweep",
+        env!("CARGO_BIN_EXE_expt-conformance"),
+        &[
+            "--scenarios",
+            "25",
+            "--seed",
+            "7",
+            "--threads",
+            "2",
+            "--fault-sweep",
+        ],
+    );
+}
+
+/// The pinned degraded-mode WCTT sweep (`F1`): severed links and a dead
+/// router on 4×4/8×8 hotspots, tree reroute, degraded bounds and the
+/// mid-run activation drain counters.  Slow in debug, covered in release by
+/// CI.
+#[test]
+#[cfg_attr(debug_assertions, ignore = "slow in debug; run in release")]
+fn golden_expt_fault_sweep() {
+    check_golden(
+        "expt-fault-sweep",
+        env!("CARGO_BIN_EXE_expt-fault-sweep"),
+        &[],
+    );
+}
+
 /// Open-loop 8×8 bursty runs plus the workload trace replays are slow in
 /// debug; covered in release by CI.
 #[test]

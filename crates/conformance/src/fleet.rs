@@ -38,7 +38,7 @@ use std::fmt;
 use std::fs;
 use std::path::{Path, PathBuf};
 use std::process::Child;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use wnoc_core::{Coord, Error, FlowId, NodeId, Result};
 use wnoc_sim::LatencyStats;
@@ -47,20 +47,44 @@ use crate::campaign::{Campaign, CampaignDimension, ConformanceReport};
 use wnoc_core::vc::VcAssignment;
 
 use crate::scenario::{
-    BufferChoice, DesignChoice, Scenario, ScenarioFamily, ScenarioOutcome, TightnessSummary,
-    TrafficChoice, VcChoice, Violation,
+    BufferChoice, DesignChoice, FaultChoice, Scenario, ScenarioFamily, ScenarioOutcome,
+    TightnessSummary, TrafficChoice, VcChoice, Violation,
 };
 
 /// Format tag embedded in every checkpoint artifact; bump on any codec
 /// change so stale checkpoints are rejected instead of misparsed.  v3 added
 /// the scenario `traffic` field (the bursty arrival-curve dimension).
+///
+/// The version is **dimension-dependent** (see [`format_version`]): v4 adds
+/// the optional scenario `faults` field, which only the fault-sweep
+/// dimension emits, so every legacy dimension keeps writing — and hashing —
+/// the v3 tag and its existing checkpoints and goldens stay byte-identical.
 pub const FORMAT_VERSION: &str = "wnoc-fleet/v3";
+
+/// Format tag of dimensions whose scenarios carry fault plans.
+pub const FORMAT_VERSION_V4: &str = "wnoc-fleet/v4";
+
+/// The checkpoint format version a campaign dimension writes: v4 for the
+/// fault sweep (its scenarios serialize a `faults` field), v3 for every
+/// legacy dimension.  Shard *manifests* stay at v3 unconditionally — they
+/// carry no scenario payload, only hashes and ranges.
+pub fn format_version(dimension: CampaignDimension) -> &'static str {
+    match dimension {
+        CampaignDimension::FaultSweep => FORMAT_VERSION_V4,
+        _ => FORMAT_VERSION,
+    }
+}
 
 /// Test-only fault-injection hook: when this environment variable is set to
 /// a millisecond count, [`Fleet::run_shard`] stalls for that long after
 /// recording its attempt and computing its outcomes but *before* committing
 /// the checkpoint — a deterministic window for kill-mid-shard tests.
 pub const STALL_ENV: &str = "WNOC_FLEET_TEST_STALL_MS";
+
+/// Like [`STALL_ENV`], but the stall applies only to a shard's *first*
+/// attempt: the watchdog's kill-and-retry then runs against a worker that
+/// hangs once and recovers, the success path a timeout test needs.
+pub const STALL_ONCE_ENV: &str = "WNOC_FLEET_TEST_STALL_ONCE_MS";
 
 // ---------------------------------------------------------------------------
 // Shard partitioning
@@ -153,7 +177,8 @@ pub fn fnv1a(bytes: &[u8]) -> u64 {
 pub fn config_hash(campaign: &Campaign) -> u64 {
     fnv1a(
         format!(
-            "{FORMAT_VERSION} dimension={} seed={} scenarios={}",
+            "{} dimension={} seed={} scenarios={}",
+            format_version(campaign.dimension),
             campaign.dimension.tag(),
             campaign.seed,
             campaign.scenarios
@@ -682,10 +707,54 @@ fn parse_traffic(value: &Json, path: &Path) -> Result<TrafficChoice> {
     }
 }
 
+fn render_faults(faults: &FaultChoice) -> String {
+    match faults {
+        FaultChoice::None => "{\"kind\":\"none\"}".to_string(),
+        FaultChoice::Links {
+            count,
+            seed,
+            activation,
+        } => format!(
+            "{{\"kind\":\"links\",\"count\":{count},\"seed\":{seed},\"activation\":{activation}}}"
+        ),
+        FaultChoice::Router { seed, activation } => {
+            format!("{{\"kind\":\"router\",\"seed\":{seed},\"activation\":{activation}}}")
+        }
+    }
+}
+
+fn parse_faults(value: &Json, path: &Path) -> Result<FaultChoice> {
+    match field_str(value, "kind", path)? {
+        "none" => Ok(FaultChoice::None),
+        "links" => {
+            let count = field_u64(value, "count", path)?;
+            Ok(FaultChoice::Links {
+                count: u32::try_from(count)
+                    .map_err(|_| corrupt(path, "fault count out of range"))?,
+                seed: field_u64(value, "seed", path)?,
+                activation: field_u64(value, "activation", path)?,
+            })
+        }
+        "router" => Ok(FaultChoice::Router {
+            seed: field_u64(value, "seed", path)?,
+            activation: field_u64(value, "activation", path)?,
+        }),
+        unknown => Err(corrupt(path, format!("unknown fault kind \"{unknown}\""))),
+    }
+}
+
 fn render_scenario(scenario: &Scenario) -> String {
+    // The `faults` field is emitted only when present (v4): every legacy
+    // dimension samples `FaultChoice::None`, so its checkpoints — and the
+    // goldens hashed over them — remain byte-identical to v3.
+    let faults = if scenario.faults.is_none() {
+        String::new()
+    } else {
+        format!(",\"faults\":{}", render_faults(&scenario.faults))
+    };
     format!(
         "{{\"index\":{},\"seed\":{},\"side\":{},\"family\":{},\"design\":{},\
-         \"message_flits\":{},\"cycles\":{},\"buffers\":{},\"vcs\":{},\"traffic\":{}}}",
+         \"message_flits\":{},\"cycles\":{},\"buffers\":{},\"vcs\":{},\"traffic\":{}{}}}",
         scenario.index,
         scenario.seed,
         scenario.side,
@@ -695,7 +764,8 @@ fn render_scenario(scenario: &Scenario) -> String {
         scenario.cycles,
         render_buffers(&scenario.buffers),
         render_vcs(&scenario.vcs),
-        render_traffic(&scenario.traffic)
+        render_traffic(&scenario.traffic),
+        faults
     )
 }
 
@@ -714,6 +784,10 @@ fn parse_scenario(value: &Json, path: &Path) -> Result<Scenario> {
         buffers: parse_buffers(field(value, "buffers", path)?, path)?,
         vcs: parse_vcs(field(value, "vcs", path)?, path)?,
         traffic: parse_traffic(field(value, "traffic", path)?, path)?,
+        faults: match value.get("faults") {
+            Some(faults) => parse_faults(faults, path)?,
+            None => FaultChoice::None,
+        },
     })
 }
 
@@ -876,7 +950,10 @@ impl PartialReport {
     pub fn render_json(&self) -> String {
         let mut out = String::new();
         out.push_str("{\n");
-        out.push_str(&format!("\"format\":\"{FORMAT_VERSION}\",\n"));
+        out.push_str(&format!(
+            "\"format\":\"{}\",\n",
+            format_version(self.campaign.dimension)
+        ));
         out.push_str("\"kind\":\"partial\",\n");
         out.push_str(&format!(
             "\"config_hash\":{},\n",
@@ -918,15 +995,17 @@ impl PartialReport {
     /// artifact) on any parse or consistency failure.
     pub fn parse_json(text: &str, path: &Path) -> Result<Self> {
         let value = parse_json(text).map_err(|reason| corrupt(path, reason))?;
-        if field_str(&value, "format", path)? != FORMAT_VERSION {
-            return Err(corrupt(path, "unknown format version"));
-        }
         if field_str(&value, "kind", path)? != "partial" {
             return Err(corrupt(path, "not a partial report"));
         }
+        // The expected format tag depends on the dimension (v4 for the fault
+        // sweep, v3 otherwise), so resolve the dimension before checking it.
         let dimension_tag = field_str(&value, "dimension", path)?;
         let dimension = CampaignDimension::from_tag(dimension_tag)
             .ok_or_else(|| corrupt(path, format!("unknown dimension \"{dimension_tag}\"")))?;
+        if field_str(&value, "format", path)? != format_version(dimension) {
+            return Err(corrupt(path, "unknown format version"));
+        }
         let campaign = Campaign {
             seed: field_u64(&value, "seed", path)?,
             scenarios: field_usize(&value, "scenario_count", path)?,
@@ -1103,6 +1182,11 @@ pub struct Fleet {
     pub shards: usize,
     /// Campaign directory (created by [`Fleet::prepare_dir`]).
     pub dir: PathBuf,
+    /// Watchdog budget per worker attempt: a worker still running after this
+    /// long is killed and its shard retried once; a second overrun fails the
+    /// campaign with [`Error::ShardFailed`].  `None` (the default) disables
+    /// the watchdog.
+    pub shard_timeout: Option<Duration>,
 }
 
 impl Fleet {
@@ -1112,7 +1196,15 @@ impl Fleet {
             campaign,
             shards,
             dir: dir.into(),
+            shard_timeout: None,
         }
+    }
+
+    /// Arms the per-shard watchdog (see [`Fleet::shard_timeout`]).
+    #[must_use]
+    pub fn with_shard_timeout(mut self, timeout: Duration) -> Self {
+        self.shard_timeout = Some(timeout);
+        self
     }
 
     /// The shard plan.
@@ -1147,9 +1239,10 @@ impl Fleet {
 
     fn render_campaign_manifest(&self) -> String {
         format!(
-            "{{\n\"format\":\"{FORMAT_VERSION}\",\n\"kind\":\"campaign\",\n\
+            "{{\n\"format\":\"{}\",\n\"kind\":\"campaign\",\n\
              \"config_hash\":{},\n\"dimension\":\"{}\",\n\"seed\":{},\n\
              \"scenario_count\":{}\n}}\n",
+            format_version(self.campaign.dimension),
             self.config_hash(),
             self.campaign.dimension.tag(),
             self.campaign.seed,
@@ -1342,6 +1435,15 @@ impl Fleet {
                 std::thread::sleep(Duration::from_millis(millis));
             }
         }
+        // The attempt line above was this attempt's: count == 1 means no
+        // prior attempt existed, i.e. this is the shard's first run.
+        if self.attempts(index) == 1 {
+            if let Ok(stall) = std::env::var(STALL_ONCE_ENV) {
+                if let Ok(millis) = stall.parse::<u64>() {
+                    std::thread::sleep(Duration::from_millis(millis));
+                }
+            }
+        }
         let json = partial.render_json();
         write_atomic(&self.partial_path(index), json.as_bytes())?;
         let manifest = ShardManifest {
@@ -1372,12 +1474,22 @@ impl Fleet {
     /// Fails if a worker cannot be spawned, exits unsuccessfully, or exits
     /// successfully without leaving a valid checkpoint.  Completed shards
     /// keep their checkpoints either way — a failed campaign is resumable.
+    /// With [`Fleet::shard_timeout`] armed, a worker that overruns the
+    /// budget is killed and its shard respawned once; a second overrun
+    /// returns [`Error::ShardFailed`] naming the shard.
     pub fn run_with(
         &self,
         workers: usize,
         halt_after: Option<usize>,
         mut spawn: impl FnMut(&ShardRange) -> std::io::Result<Child>,
     ) -> Result<FleetRunSummary> {
+        struct Inflight {
+            range: ShardRange,
+            child: Child,
+            started: Instant,
+            /// Watchdog kills already spent on this shard (0 or 1).
+            timeouts: usize,
+        }
         let statuses = self.scan();
         let mut summary = FleetRunSummary {
             ran: Vec::new(),
@@ -1394,7 +1506,7 @@ impl Fleet {
         }
         let workers = workers.max(1);
         let mut queue = pending.into_iter();
-        let mut inflight: Vec<(ShardRange, Child)> = Vec::new();
+        let mut inflight: Vec<Inflight> = Vec::new();
         let mut completed_now = 0usize;
         let halt_budget = halt_after.unwrap_or(usize::MAX);
 
@@ -1404,28 +1516,67 @@ impl Fleet {
                 let child = spawn(&range).map_err(|e| {
                     corrupt(&self.dir, format!("cannot spawn worker for {range}: {e}"))
                 })?;
-                inflight.push((range, child));
+                inflight.push(Inflight {
+                    range,
+                    child,
+                    started: Instant::now(),
+                    timeouts: 0,
+                });
             }
             if inflight.is_empty() {
                 break;
             }
             // std::process has no wait-any; poll the small in-flight set.
             let (position, status) = 'poll: loop {
-                for (position, (range, child)) in inflight.iter_mut().enumerate() {
-                    match child.try_wait() {
+                for (position, entry) in inflight.iter_mut().enumerate() {
+                    match entry.child.try_wait() {
                         Ok(Some(status)) => break 'poll (position, status),
                         Ok(None) => {}
                         Err(error) => {
                             return Err(corrupt(
                                 &self.dir,
-                                format!("cannot wait for worker of {range}: {error}"),
+                                format!("cannot wait for worker of {}: {error}", entry.range),
                             ));
+                        }
+                    }
+                    // Watchdog: a worker past its wall-clock budget gets
+                    // SIGKILL'd; its checkpoint is uncommitted (the manifest
+                    // is the commit point), so the shard retries cleanly.
+                    if let Some(timeout) = self.shard_timeout {
+                        if entry.started.elapsed() >= timeout {
+                            let _ = entry.child.kill();
+                            let _ = entry.child.wait();
+                            if entry.timeouts >= 1 {
+                                let range = entry.range;
+                                inflight.remove(position);
+                                for other in inflight.iter_mut() {
+                                    let _ = other.child.kill();
+                                    let _ = other.child.wait();
+                                }
+                                return Err(Error::ShardFailed {
+                                    shard: range.index,
+                                    reason: format!(
+                                        "worker exceeded the {timeout:?} shard timeout twice \
+                                         (killed both times); completed shards are \
+                                         checkpointed — re-run to resume"
+                                    ),
+                                });
+                            }
+                            entry.child = spawn(&entry.range).map_err(|e| {
+                                corrupt(
+                                    &self.dir,
+                                    format!("cannot respawn worker for {}: {e}", entry.range),
+                                )
+                            })?;
+                            entry.started = Instant::now();
+                            entry.timeouts += 1;
                         }
                     }
                 }
                 std::thread::sleep(Duration::from_millis(5));
             };
-            let (range, _) = inflight.swap_remove(position);
+            let entry = inflight.swap_remove(position);
+            let range = entry.range;
             if !status.success() {
                 return Err(corrupt(
                     &self.dir,
@@ -1447,9 +1598,9 @@ impl Fleet {
                 // Simulate the campaign dying: kill in-flight workers
                 // mid-shard and stop spawning.  Their shards stay incomplete
                 // and re-run on resume.
-                for (_, child) in inflight.iter_mut() {
-                    let _ = child.kill();
-                    let _ = child.wait();
+                for entry in inflight.iter_mut() {
+                    let _ = entry.child.kill();
+                    let _ = entry.child.wait();
                 }
                 summary.halted = true;
                 break;
@@ -1631,6 +1782,28 @@ mod tests {
             config_hash(&Campaign::vc_sweep(7, 200)),
             config_hash(&Campaign::bursty_sweep(7, 200))
         );
+        assert_ne!(
+            config_hash(&base),
+            config_hash(&Campaign::fault_sweep(7, 200))
+        );
+        assert_ne!(
+            config_hash(&Campaign::bursty_sweep(7, 200)),
+            config_hash(&Campaign::fault_sweep(7, 200))
+        );
+    }
+
+    /// Legacy dimensions must keep hashing the v3 format string: the
+    /// expt-campaign golden embeds `config 0xb455082569e10341` for
+    /// `Campaign::new(7, 25)`, and a silent hash change would orphan every
+    /// existing checkpoint directory.
+    #[test]
+    fn legacy_config_hash_is_frozen() {
+        assert_eq!(config_hash(&Campaign::new(7, 25)), 0xb455_0825_69e1_0341);
+        assert_eq!(format_version(CampaignDimension::Core), FORMAT_VERSION);
+        assert_eq!(
+            format_version(CampaignDimension::FaultSweep),
+            FORMAT_VERSION_V4
+        );
     }
 
     /// A handcrafted outcome exercising every codec branch: violations,
@@ -1665,6 +1838,7 @@ mod tests {
                     gap: 4_321,
                     cv: 50,
                 },
+                faults: FaultChoice::None,
             },
             flow_count: 3,
             observed,
@@ -1753,6 +1927,72 @@ mod tests {
             let back = parse_traffic(&parsed, Path::new("inline")).expect("traffic reconstructs");
             assert_eq!(back, traffic);
         }
+    }
+
+    #[test]
+    fn every_fault_choice_round_trips() {
+        for faults in [
+            FaultChoice::None,
+            FaultChoice::Links {
+                count: 3,
+                seed: 987_654,
+                activation: 0,
+            },
+            FaultChoice::Router {
+                seed: 42,
+                activation: 5_000,
+            },
+        ] {
+            let rendered = render_faults(&faults);
+            let parsed = parse_json(&rendered).expect("faults render as JSON");
+            let back = parse_faults(&parsed, Path::new("inline")).expect("faults reconstruct");
+            assert_eq!(back, faults);
+        }
+    }
+
+    /// A fault-free scenario must serialize without any `faults` field so v3
+    /// checkpoints (and the goldens hashed over them) stay byte-identical,
+    /// while a faulted scenario round-trips through the optional field.
+    #[test]
+    fn fault_field_is_omitted_when_absent_and_round_trips_when_present() {
+        let mut scenario = nasty_outcome().scenario;
+        assert!(!render_scenario(&scenario).contains("faults"));
+
+        scenario.faults = FaultChoice::Links {
+            count: 2,
+            seed: 31_337,
+            activation: 617,
+        };
+        let rendered = render_scenario(&scenario);
+        assert!(rendered.contains("\"faults\":"));
+        let parsed = parse_json(&rendered).expect("scenario renders as JSON");
+        let back = parse_scenario(&parsed, Path::new("inline")).expect("scenario reconstructs");
+        assert_eq!(back, scenario);
+    }
+
+    /// Fault-sweep partials carry the v4 format tag and survive the full
+    /// render → parse → validate cycle (including faulted scenarios).
+    #[test]
+    fn fault_sweep_partial_report_round_trips_at_v4() {
+        let campaign = Campaign::fault_sweep(11, 4);
+        let shard = ShardRange {
+            index: 0,
+            start: 0,
+            end: 4,
+        };
+        let partial = PartialReport::compute(&campaign, shard).unwrap();
+        let json = partial.render_json();
+        assert!(json.contains(&format!("\"format\":\"{FORMAT_VERSION_V4}\"")));
+        let back = PartialReport::parse_json(&json, Path::new("inline")).unwrap();
+        assert_eq!(back, partial);
+
+        // A v4 partial relabeled v3 is rejected: the format check is
+        // dimension-aware.
+        let downgraded = json.replacen(FORMAT_VERSION_V4, FORMAT_VERSION, 1);
+        assert!(matches!(
+            PartialReport::parse_json(&downgraded, Path::new("inline")),
+            Err(Error::CorruptCheckpoint { .. })
+        ));
     }
 
     #[test]

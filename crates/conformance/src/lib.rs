@@ -51,6 +51,6 @@ pub use fleet::{
     ShardStatus,
 };
 pub use scenario::{
-    BufferChoice, DesignChoice, FlowSetCache, Scenario, ScenarioFamily, ScenarioOutcome,
-    TightnessSummary, TrafficChoice, VcChoice, Violation,
+    BufferChoice, DesignChoice, FaultChoice, FlowSetCache, Scenario, ScenarioFamily,
+    ScenarioOutcome, TightnessSummary, TrafficChoice, VcChoice, Violation,
 };

@@ -30,9 +30,13 @@ use wnoc_core::analysis::oracle::{
 use wnoc_core::analysis::preemptive::SATURATION_SENTINEL;
 use wnoc_core::analysis::BufferAwareWcttModel;
 use wnoc_core::buffers::per_port_table;
+use wnoc_core::fault::{reroute_flows, Reroute};
 use wnoc_core::flow::{FlowId, FlowSet, PortCounts};
 use wnoc_core::vc::{VcAssignment, VcConfig};
-use wnoc_core::{ArrivalCurve, BufferConfig, Coord, Mesh, NocConfig, NodeId, Result};
+use wnoc_core::{
+    ArrivalCurve, BufferConfig, Coord, FaultPlan, Mesh, NocConfig, NodeId, Result,
+    RetransmitPolicy, TreeRouting,
+};
 use wnoc_sim::{LatencyStats, SaturatedReport, Simulation};
 use wnoc_workloads::Placement;
 
@@ -190,6 +194,81 @@ impl TrafficChoice {
         match *self {
             TrafficChoice::ClosedLoop => String::new(),
             TrafficChoice::Bursty { burst, gap, cv } => format!(" b={burst}/g={gap}/cv={cv}"),
+        }
+    }
+}
+
+/// The fault injection of a scenario — the degraded-mode dimension of the
+/// conformance space.  Variants carry sampling *parameters* (seed, count,
+/// activation), not concrete coordinates: the plan is rematerialised from the
+/// mesh via the deterministic [`FaultPlan`] samplers, so a scenario stays a
+/// small self-contained value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FaultChoice {
+    /// The healthy network; scenarios sampled outside the fault dimension
+    /// always use it, keeping legacy campaigns byte-identical (the fault
+    /// machinery is never installed).
+    None,
+    /// `count` distinct directed-link failures, all activating at
+    /// `activation` (cycle 0 = degraded from the start; later = mid-run
+    /// epoch flush), sampled from `seed`
+    /// ([`FaultPlan::sample_links`]).
+    Links {
+        /// Number of distinct directed links to fail (1–3 in the sweep).
+        count: u32,
+        /// Sampling seed of the link choice.
+        seed: u64,
+        /// Activation cycle of every sampled link fault.
+        activation: u64,
+    },
+    /// One whole-router failure at `activation`, sampled from `seed`
+    /// ([`FaultPlan::sample_router`]).
+    Router {
+        /// Sampling seed of the router choice.
+        seed: u64,
+        /// Activation cycle of the router fault.
+        activation: u64,
+    },
+}
+
+impl FaultChoice {
+    /// Materialises the concrete [`FaultPlan`] over `mesh`, or `None` for
+    /// the healthy default.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the mesh has fewer directed links than `count`
+    /// (cannot happen for generator-produced scenarios).
+    pub fn plan(&self, mesh: &Mesh) -> Result<Option<FaultPlan>> {
+        match *self {
+            FaultChoice::None => Ok(None),
+            FaultChoice::Links {
+                count,
+                seed,
+                activation,
+            } => FaultPlan::sample_links(mesh, seed, count as usize, activation).map(Some),
+            FaultChoice::Router { seed, activation } => {
+                Ok(Some(FaultPlan::sample_router(mesh, seed, activation)))
+            }
+        }
+    }
+
+    /// `true` for the healthy default.
+    pub fn is_none(&self) -> bool {
+        *self == FaultChoice::None
+    }
+
+    /// Label suffix for reports; empty for the healthy default so legacy
+    /// scenario labels are unchanged.
+    pub fn label_suffix(&self) -> String {
+        match *self {
+            FaultChoice::None => String::new(),
+            FaultChoice::Links {
+                count,
+                seed,
+                activation,
+            } => format!(" f=L{count}#{seed}@{activation}"),
+            FaultChoice::Router { seed, activation } => format!(" f=R#{seed}@{activation}"),
         }
     }
 }
@@ -366,6 +445,9 @@ pub struct Scenario {
     /// Traffic discipline ([`TrafficChoice::ClosedLoop`] for scenarios
     /// sampled outside the bursty dimension).
     pub traffic: TrafficChoice,
+    /// Fault injection ([`FaultChoice::None`] for scenarios sampled outside
+    /// the fault dimension).
+    pub faults: FaultChoice,
 }
 
 /// One dominance violation: an observation above an analysis' bound.  An
@@ -573,6 +655,7 @@ impl Scenario {
             buffers: BufferChoice::Default,
             vcs: VcChoice::Default,
             traffic: TrafficChoice::ClosedLoop,
+            faults: FaultChoice::None,
         }
     }
 
@@ -757,13 +840,70 @@ impl Scenario {
             buffers,
             vcs: VcChoice::Default,
             traffic: TrafficChoice::Bursty { burst, gap, cv },
+            faults: FaultChoice::None,
         }
+    }
+
+    /// Samples scenario `index` of a **fault-sweep** campaign: the same
+    /// platform space as [`Scenario::sample`] (identical rng stream), plus a
+    /// fault dimension drawn from an independent stream — 1–3 directed-link
+    /// failures or one whole-router failure, activating either at cycle 0
+    /// (the run is degraded from the start, so the rerouted flows are held
+    /// to freshly built degraded oracles) or mid-run (an epoch flush
+    /// truncates in-flight worms; the invariant is that the network drains
+    /// — retransmitting survivors, dropping severed traffic — rather than
+    /// deadlocking).  A slice of healthy design points stays inside the
+    /// sweep so the zero-fault path is continuously compared against the
+    /// legacy dimensions.
+    pub fn sample_fault(index: usize, campaign_seed: u64) -> Self {
+        let mut scenario = Self::sample(index, campaign_seed);
+        // Independent stream: the base scenario draws stay identical to the
+        // legacy sampler's.
+        let stream =
+            !campaign_seed ^ (index as u64).wrapping_mul(0x2545_F491_4F6C_DD1D) ^ 0xFA17_5EED;
+        let mut rng = ChaCha8Rng::seed_from_u64(stream);
+        // Mid-run activations land while the closed loop is still probing
+        // (never 0, never past the window).
+        let midrun = (scenario.cycles / 2).max(1);
+        let activation = if rng.gen_range(0u32..2) == 0 {
+            0
+        } else {
+            midrun
+        };
+        let seed = rng.gen_range(0u64..1_000_000);
+        scenario.faults = match rng.gen_range(0u32..8) {
+            // Keep the healthy design point inside the sweep: the zero-fault
+            // path must stay byte-identical to the legacy dimensions.
+            0 => FaultChoice::None,
+            1..=3 => FaultChoice::Links {
+                count: 1,
+                seed,
+                activation,
+            },
+            4 => FaultChoice::Links {
+                count: 2,
+                seed,
+                activation,
+            },
+            5 => FaultChoice::Links {
+                count: 3,
+                seed,
+                activation,
+            },
+            _ => FaultChoice::Router { seed, activation },
+        };
+        // Degraded runs reroute over the spanning forest, whose paths are
+        // longer than XY routes; give the probes room to keep squeezing.
+        if !scenario.faults.is_none() {
+            scenario.cycles = (scenario.cycles * 3 / 2).min(12_000);
+        }
+        scenario
     }
 
     /// One-line description for logs and reports.
     pub fn label(&self) -> String {
         format!(
-            "#{} {}x{} {} {} mf={}{}{}{}",
+            "#{} {}x{} {} {} mf={}{}{}{}{}",
             self.index,
             self.side,
             self.side,
@@ -772,7 +912,8 @@ impl Scenario {
             self.message_flits,
             self.buffers.label_suffix(),
             self.vcs.label_suffix(),
-            self.traffic.label_suffix()
+            self.traffic.label_suffix(),
+            self.faults.label_suffix()
         )
     }
 
@@ -802,6 +943,10 @@ impl Scenario {
         let vcs = self.vcs.config();
 
         let mut sim = Simulation::with_vcs(mesh, config, &flows, &buffers, vcs)?;
+        let fault_plan = self.faults.plan(&mesh)?;
+        if let Some(plan) = &fault_plan {
+            sim.install_fault_plan(plan.clone(), RetransmitPolicy::default())?;
+        }
         let report = match self.traffic.curve() {
             None => sim.run_closed_loop(&flows, self.message_flits, self.cycles)?,
             Some(curve) => {
@@ -820,6 +965,19 @@ impl Scenario {
             }
         };
         let simulated_cycles = sim.stats().cycles;
+
+        if let Some(plan) = &fault_plan {
+            return self.faulted_outcome(
+                &mesh,
+                &flows,
+                &config,
+                &buffers,
+                vcs,
+                plan,
+                &report,
+                simulated_cycles,
+            );
+        }
 
         let mut suite = match self.traffic.curve() {
             None => oracle_suite_with_counts(&flows, &config, mesh, &buffers, vcs, counts)?,
@@ -859,6 +1017,126 @@ impl Scenario {
             ordering_violations,
             tightness: TightnessSummary::from_ratios(&tightness),
         })
+    }
+
+    /// Finishes a fault scenario's outcome: the simulator has already proved
+    /// the liveness half (the run drained — retransmitting NACKed survivors
+    /// and dropping severed traffic — instead of deadlocking or wedging),
+    /// and this decides which analytic checks apply on top.
+    ///
+    /// * **Cycle-0 activation** (degraded from the start): every observation
+    ///   happened on the tree-routed topology, so the surviving flows are
+    ///   rerouted ([`reroute_flows`] — the same construction the incremental
+    ///   engine's fault mutations are verified against) and held to freshly
+    ///   built degraded oracles, dominance and ordering both.
+    /// * **Mid-run activation**: observations mix healthy-epoch and
+    ///   degraded-epoch traversals (a probe NACKed by the flush spans the
+    ///   outage end-to-end); no single oracle bounds that mixture, so the
+    ///   scenario is drain-only (`dominance_checked = false`).
+    #[allow(clippy::too_many_arguments)]
+    fn faulted_outcome(
+        &self,
+        mesh: &Mesh,
+        flows: &FlowSet,
+        config: &NocConfig,
+        buffers: &BufferConfig,
+        vcs: VcConfig,
+        plan: &FaultPlan,
+        report: &SaturatedReport,
+        simulated_cycles: u64,
+    ) -> Result<ScenarioOutcome> {
+        let tree = TreeRouting::new(&plan.final_set(mesh));
+        let reroute = reroute_flows(flows, &tree)?;
+        let degraded_from_start = plan.activations().iter().all(|&cycle| cycle == 0);
+        if !degraded_from_start || reroute.flows.is_empty() {
+            return Ok(ScenarioOutcome {
+                scenario: self.clone(),
+                flow_count: flows.len(),
+                observed: report.overall(),
+                simulated_cycles,
+                dominance_checked: false,
+                violations: Vec::new(),
+                ordering_violations: Vec::new(),
+                tightness: TightnessSummary::from_ratios(&[]),
+            });
+        }
+        // Contention counts of the rerouted set, fed through the same
+        // add-delta the healthy path uses (no cache: degraded sets are
+        // plan-specific).
+        let mut counts = PortCounts::default();
+        for (id, _flow) in reroute.flows.iter() {
+            counts.add_route(reroute.flows.route(id).expect("member route"));
+        }
+        let mut suite =
+            oracle_suite_with_counts(&reroute.flows, config, *mesh, buffers, vcs, counts)?;
+        let has_dominating = suite.iter().any(|oracle| oracle.dominates_observation());
+        let dominance_checked = has_dominating
+            && match self.design {
+                DesignChoice::Regular { .. } => true,
+                DesignChoice::WawWap => reroute.flows.is_output_consistent(),
+            };
+        let (violations, tightness) = if dominance_checked {
+            self.check_degraded_dominance(&reroute, report, &mut suite)
+        } else {
+            (Vec::new(), Vec::new())
+        };
+        let ordering_violations = self.check_ordering(&reroute.flows, mesh, buffers, &mut suite);
+        Ok(ScenarioOutcome {
+            scenario: self.clone(),
+            flow_count: flows.len(),
+            observed: report.overall(),
+            simulated_cycles,
+            dominance_checked,
+            violations,
+            ordering_violations,
+            tightness: TightnessSummary::from_ratios(&tightness),
+        })
+    }
+
+    /// [`Scenario::check_dominance`] for a degraded-from-start fault
+    /// scenario: the report keys observations by *original* flow id, while
+    /// the degraded oracles index the densely re-indexed rerouted set — the
+    /// [`Reroute::surviving`] table translates between the two.  Severed
+    /// pairs carry no bound (and no observation: the closed loop refuses
+    /// their offers).  Violations report the original id, which is what a
+    /// reproduction needs.
+    fn check_degraded_dominance(
+        &self,
+        reroute: &Reroute,
+        report: &SaturatedReport,
+        suite: &mut [Box<dyn WcttBoundModel>],
+    ) -> (Vec<Violation>, Vec<f64>) {
+        let mut violations = Vec::new();
+        let mut ratios = Vec::new();
+        let primary = suite
+            .iter()
+            .position(|oracle| oracle.dominates_observation());
+        for (original, observed) in report.per_flow_max() {
+            let Some(position) = reroute.surviving.iter().position(|&id| id == original) else {
+                continue;
+            };
+            let flow = FlowId(position);
+            for (at, oracle) in suite.iter_mut().enumerate() {
+                if !oracle.dominates_observation() {
+                    continue;
+                }
+                let Some(bound) = oracle.message_bound(flow, self.message_flits) else {
+                    continue;
+                };
+                if Some(at) == primary && bound > 0 && bound < SATURATION_SENTINEL {
+                    ratios.push(observed as f64 / bound as f64);
+                }
+                if observed > bound && oracle.dominates_message(self.message_flits) {
+                    violations.push(Violation {
+                        flow: original,
+                        oracle: oracle.name().to_string(),
+                        observed,
+                        bound,
+                    });
+                }
+            }
+        }
+        (violations, ratios)
     }
 
     /// Dominance: every analysis claiming observation safety *for this
@@ -1238,6 +1516,7 @@ mod tests {
             buffers: BufferChoice::Default,
             vcs: VcChoice::Default,
             traffic: TrafficChoice::ClosedLoop,
+            faults: FaultChoice::None,
         };
         let outcome = scenario.run().unwrap();
         assert!(outcome.passed(), "{:?}", outcome.violations);
@@ -1403,6 +1682,7 @@ mod tests {
             buffers: BufferChoice::Uniform { depth: 1 },
             vcs: VcChoice::Default,
             traffic: TrafficChoice::ClosedLoop,
+            faults: FaultChoice::None,
         };
         let outcome = scenario.run().unwrap();
         assert!(
@@ -1556,6 +1836,7 @@ mod tests {
                 gap: 1_000,
                 cv: 25,
             },
+            faults: FaultChoice::None,
         };
         assert!(
             scenario.label().ends_with(" b=4/g=1000/cv=25"),
@@ -1616,6 +1897,7 @@ mod tests {
                 assignment: VcAssignment::FlowIndex,
             },
             traffic: TrafficChoice::ClosedLoop,
+            faults: FaultChoice::None,
         };
         assert!(
             scenario.label().ends_with(" vc=2/idx"),
@@ -1631,5 +1913,168 @@ mod tests {
         );
         assert!(outcome.dominance_checked, "preemptive oracle must dominate");
         assert!(outcome.observed.count > 0);
+    }
+
+    #[test]
+    fn fault_sampler_perturbs_only_the_fault_dimension() {
+        let mut kinds = [false; 5]; // none, L1, L2, L3, router
+        let mut cycle_zero = 0;
+        let mut midrun = 0;
+        for index in 0..60 {
+            let scenario = Scenario::sample_fault(index, 11);
+            let base = Scenario::sample(index, 11);
+            // Platform identical to the legacy sampler: only the fault
+            // dimension (and its cycle stretch) may differ.
+            assert_eq!(scenario.side, base.side, "{}", scenario.label());
+            assert_eq!(scenario.family, base.family, "{}", scenario.label());
+            assert_eq!(scenario.design, base.design, "{}", scenario.label());
+            assert_eq!(scenario.buffers, base.buffers, "{}", scenario.label());
+            assert_eq!(scenario.vcs, base.vcs, "{}", scenario.label());
+            assert_eq!(scenario.traffic, base.traffic, "{}", scenario.label());
+            match scenario.faults {
+                FaultChoice::None => {
+                    kinds[0] = true;
+                    assert_eq!(scenario, base, "fault-free point must be the base point");
+                }
+                FaultChoice::Links {
+                    count, activation, ..
+                } => {
+                    assert!((1..=3).contains(&count), "{}", scenario.label());
+                    kinds[count as usize] = true;
+                    assert!(activation < scenario.cycles, "{}", scenario.label());
+                    if activation == 0 {
+                        cycle_zero += 1
+                    } else {
+                        midrun += 1
+                    }
+                }
+                FaultChoice::Router { activation, .. } => {
+                    kinds[4] = true;
+                    if activation == 0 {
+                        cycle_zero += 1
+                    } else {
+                        midrun += 1
+                    }
+                }
+            }
+            // The sampled plan must materialize on the scenario's own mesh.
+            let mesh = Mesh::square(scenario.side).unwrap();
+            assert!(scenario.faults.plan(&mesh).is_ok(), "{}", scenario.label());
+            assert_eq!(
+                Scenario::sample_fault(index, 11),
+                scenario,
+                "sampler not pure"
+            );
+        }
+        assert!(
+            kinds.iter().all(|&k| k),
+            "fault kinds barely covered: {kinds:?}"
+        );
+        assert!(cycle_zero > 0, "no degraded-from-start scenario sampled");
+        assert!(midrun > 0, "no mid-run activation sampled");
+    }
+
+    #[test]
+    fn a_degraded_from_start_scenario_is_held_to_degraded_oracles() {
+        // Pinned cycle-0 link failure: every observation happens on the
+        // up*/down* tree-routed topology, so the outcome must be
+        // dominance-checked against freshly built degraded oracles — and
+        // pass.
+        let scenario = Scenario {
+            index: 0,
+            seed: 0,
+            side: 4,
+            family: ScenarioFamily::AllToOne {
+                hotspot: Coord::from_row_col(0, 0),
+            },
+            design: DesignChoice::Regular {
+                max_packet_flits: 4,
+            },
+            message_flits: 4,
+            cycles: 4_000,
+            buffers: BufferChoice::Default,
+            vcs: VcChoice::Default,
+            traffic: TrafficChoice::ClosedLoop,
+            faults: FaultChoice::Links {
+                count: 1,
+                seed: 3,
+                activation: 0,
+            },
+        };
+        assert!(
+            scenario.label().ends_with(" f=L1#3@0"),
+            "{}",
+            scenario.label()
+        );
+        let outcome = scenario.run().unwrap();
+        assert!(
+            outcome.passed(),
+            "violations: {:?} / {:?}",
+            outcome.violations,
+            outcome.ordering_violations
+        );
+        assert!(
+            outcome.dominance_checked,
+            "degraded oracles must dominate a cycle-0 scenario"
+        );
+        assert!(outcome.observed.count > 0, "survivors must deliver");
+        assert!(outcome.tightness.max <= 1.0);
+    }
+
+    #[test]
+    fn a_midrun_fault_scenario_is_drain_only() {
+        // Pinned mid-run router death: observations mix healthy-epoch and
+        // degraded-epoch traversals, so no dominance claim is made — the
+        // invariant is that the run drains (no deadlock, no stall error).
+        let scenario = Scenario {
+            index: 0,
+            seed: 0,
+            side: 4,
+            family: ScenarioFamily::AllToOne {
+                hotspot: Coord::from_row_col(0, 0),
+            },
+            design: DesignChoice::Regular {
+                max_packet_flits: 4,
+            },
+            message_flits: 4,
+            cycles: 4_000,
+            buffers: BufferChoice::Default,
+            vcs: VcChoice::Default,
+            traffic: TrafficChoice::ClosedLoop,
+            faults: FaultChoice::Router {
+                seed: 5,
+                activation: 2_000,
+            },
+        };
+        assert!(
+            scenario.label().ends_with(" f=R#5@2000"),
+            "{}",
+            scenario.label()
+        );
+        let outcome = scenario.run().unwrap();
+        assert!(outcome.passed(), "{:?}", outcome.violations);
+        assert!(
+            !outcome.dominance_checked,
+            "mid-run mixtures admit no oracle claim"
+        );
+        assert!(outcome.violations.is_empty());
+        assert!(outcome.ordering_violations.is_empty());
+    }
+
+    #[test]
+    fn sampled_fault_scenarios_pass() {
+        let mut cache = FlowSetCache::new();
+        for index in 0..6 {
+            let scenario = Scenario::sample_fault(index, 42);
+            let outcome = scenario.run_with_cache(&mut cache).unwrap();
+            assert!(
+                outcome.passed(),
+                "{}: {:?} / {:?}",
+                scenario.label(),
+                outcome.violations,
+                outcome.ordering_violations
+            );
+            assert_eq!(outcome, scenario.run().unwrap(), "{}", scenario.label());
+        }
     }
 }

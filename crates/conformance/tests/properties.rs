@@ -9,7 +9,7 @@
 use proptest::prelude::*;
 
 use wnoc_conformance::{
-    BufferChoice, DesignChoice, Scenario, ScenarioFamily, TrafficChoice, VcChoice,
+    BufferChoice, DesignChoice, FaultChoice, Scenario, ScenarioFamily, TrafficChoice, VcChoice,
 };
 use wnoc_core::vc::VcAssignment;
 use wnoc_core::{BufferConfig, Coord, Mesh, NodeId};
@@ -130,6 +130,7 @@ proptest! {
             buffers,
             vcs,
             traffic: TrafficChoice::ClosedLoop,
+            faults: FaultChoice::None,
         };
         let outcome = scenario.run().unwrap();
         prop_assert!(

@@ -50,6 +50,7 @@ use crate::arrival::ArrivalCurve;
 use crate::buffers::BufferConfig;
 use crate::config::NocConfig;
 use crate::error::{Error, Result};
+use crate::fault::{reroute_flows, FaultKind, FaultSet, TreeRouting};
 use crate::flow::{FlowId, FlowSet, PortCounts};
 use crate::geometry::{Coord, NodeId};
 use crate::packetization::PacketizationPolicy;
@@ -151,6 +152,25 @@ pub enum Mutation {
     /// (a global knob, like the preemptive depth envelope: no per-flow terms
     /// are invalidated because the burst term composes at query time).
     SetArrivalCurve(ArrivalCurve),
+    /// Permanently fails the directed link leaving `from` towards
+    /// `direction`.  The engine reroutes every surviving flow over the
+    /// degraded spanning forest ([`crate::fault::TreeRouting`]), drops
+    /// severed pairs, and rebuilds every model from scratch on the rerouted
+    /// flow set: a fault changes *every* route, so there are no unchanged
+    /// terms to salvage, and a full rebuild is what makes the degraded
+    /// bounds trivially bit-identical to freshly built degraded oracles.
+    FailLink {
+        /// Upstream router of the failed directed link.
+        from: Coord,
+        /// Direction the failed link points in.
+        direction: crate::port::Direction,
+    },
+    /// Permanently fails the whole router at `at`; rerouting semantics as
+    /// for [`Mutation::FailLink`].
+    FailRouter {
+        /// Coordinate of the failed router.
+        at: Coord,
+    },
 }
 
 /// The cached route-dependent terms of one flow.  Composing bounds from
@@ -253,6 +273,10 @@ pub struct IncrementalAnalysis {
     /// construction and the preemptive bound composes from `regular`.
     preemptive: Option<PreemptiveOracle>,
     preemptive_dirty: bool,
+    /// Accumulated permanent failures.  While non-empty, the engine's flow
+    /// set is the tree-rerouted degraded set and flow-shape mutations (which
+    /// route with XY) are rejected.
+    faults: FaultSet,
     cache: Vec<Option<FlowTerms>>,
     /// Per-flow contention read set: the dense column index (`node · 5 +
     /// output`) of every hop of the flow's route.
@@ -338,6 +362,7 @@ impl IncrementalAnalysis {
             depth_factor: PreemptiveOracle::depth_envelope_factor(config, buffers),
             preemptive: None,
             preemptive_dirty: true,
+            faults: FaultSet::empty(&mesh),
             cache: vec![None; n],
             flow_keys: vec![Vec::new(); n],
             port_readers: vec![Vec::new(); columns],
@@ -406,6 +431,15 @@ impl IncrementalAnalysis {
     /// Returns an error on invalid endpoints, an out-of-range flow, an empty
     /// flow set (`RemoveLastFlow`), or an invalid depth.
     pub fn apply(&mut self, mutation: &Mutation) -> Result<()> {
+        if !self.faults.is_empty() {
+            if let Mutation::MoveFlow { .. } | Mutation::AddFlow { .. } = mutation {
+                return Err(Error::InvalidConfig {
+                    reason: "flow-shape mutations route with XY and cannot follow a fault \
+                             mutation; apply faults last or rebuild the engine"
+                        .to_string(),
+                });
+            }
+        }
         match *mutation {
             Mutation::MoveFlow { id, src, dst } => {
                 let old_route = self.flows.replace_pair(id, src, dst)?;
@@ -476,7 +510,46 @@ impl IncrementalAnalysis {
                     model.set_curve(curve);
                 }
             }
+            Mutation::FailLink { from, direction } => {
+                self.mesh.check(from)?;
+                if self.mesh.neighbor(from, direction).is_none() {
+                    return Err(Error::InvalidConfig {
+                        reason: format!("no link {from}->{direction} in {} mesh", self.mesh.dims()),
+                    });
+                }
+                self.faults.add(FaultKind::Link { from, direction });
+                self.rebuild_degraded()?;
+            }
+            Mutation::FailRouter { at } => {
+                self.mesh.check(at)?;
+                self.faults.add(FaultKind::Router { at });
+                self.rebuild_degraded()?;
+            }
         }
+        Ok(())
+    }
+
+    /// The accumulated permanent-failure state.
+    pub fn fault_set(&self) -> &FaultSet {
+        &self.faults
+    }
+
+    /// Reroutes the current pairs over the degraded spanning forest, drops
+    /// severed pairs, and rebuilds every model from scratch on the rerouted
+    /// flow set.  Deliberately non-incremental: rerouting changes every
+    /// route, so a rebuild invalidates nothing that could have survived and
+    /// is bit-identical to fresh degraded oracles by construction.
+    fn rebuild_degraded(&mut self) -> Result<()> {
+        let tree = TreeRouting::new(&self.faults);
+        let reroute = reroute_flows(&self.flows, &tree)?;
+        let curve = self.arrival_curve();
+        let mut rebuilt =
+            IncrementalAnalysis::new(&reroute.flows, &self.config, &self.buffers, self.vcs)?;
+        if let Some(curve) = curve {
+            rebuilt.apply(&Mutation::SetArrivalCurve(curve))?;
+        }
+        std::mem::swap(&mut rebuilt.faults, &mut self.faults);
+        *self = rebuilt;
         Ok(())
     }
 
@@ -1114,6 +1187,83 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn fault_mutations_match_fresh_degraded_suite() {
+        use crate::port::Direction;
+        for config in [NocConfig::regular(4), NocConfig::waw_wap()] {
+            let (mesh, flows) = setup(4);
+            let buffers = BufferConfig::uniform(config.input_buffer_flits);
+            let mut engine =
+                IncrementalAnalysis::new(&flows, &config, &buffers, VcConfig::single()).unwrap();
+            let before = engine.flows().len();
+            // Fail one directed link: every flow reroutes over the spanning
+            // forest, nothing is severed (the mesh stays connected).
+            engine
+                .apply(&Mutation::FailLink {
+                    from: Coord::from_row_col(0, 1),
+                    direction: Direction::West,
+                })
+                .unwrap();
+            assert_eq!(engine.flows().len(), before);
+            check_against_suite(&mut engine);
+            // Fail a router: the flow sourced there is severed and dropped.
+            engine
+                .apply(&Mutation::FailRouter {
+                    at: Coord::from_row_col(3, 3),
+                })
+                .unwrap();
+            assert_eq!(engine.flows().len(), before - 1);
+            assert!(engine.fault_set().router_failed(Coord::from_row_col(3, 3)));
+            check_against_suite(&mut engine);
+            // Knob mutations still compose after faults...
+            let memory = mesh.node_id(Coord::from_row_col(0, 0)).unwrap();
+            engine
+                .apply(&Mutation::SetBufferDepth {
+                    node: memory,
+                    port: Port::Local,
+                    depth: 8,
+                })
+                .unwrap();
+            check_against_suite(&mut engine);
+            // ...but XY-routed flow-shape mutations are rejected.
+            assert!(engine
+                .apply(&Mutation::AddFlow {
+                    src: memory,
+                    dst: mesh.node_id(Coord::from_row_col(1, 1)).unwrap(),
+                })
+                .is_err());
+            assert!(engine
+                .apply(&Mutation::MoveFlow {
+                    id: FlowId(0),
+                    src: memory,
+                    dst: mesh.node_id(Coord::from_row_col(1, 1)).unwrap(),
+                })
+                .is_err());
+        }
+    }
+
+    #[test]
+    fn fault_mutations_validate_hardware() {
+        let config = NocConfig::regular(3);
+        let (_mesh, flows) = setup(3);
+        let buffers = BufferConfig::uniform(config.input_buffer_flits);
+        let mut engine =
+            IncrementalAnalysis::new(&flows, &config, &buffers, VcConfig::single()).unwrap();
+        assert!(engine
+            .apply(&Mutation::FailLink {
+                from: Coord::new(2, 0),
+                direction: crate::port::Direction::East,
+            })
+            .is_err());
+        assert!(engine
+            .apply(&Mutation::FailRouter {
+                at: Coord::new(9, 9),
+            })
+            .is_err());
+        // A failed validation leaves the engine untouched.
+        check_against_suite(&mut engine);
     }
 
     #[test]

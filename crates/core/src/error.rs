@@ -7,6 +7,31 @@ use crate::geometry::{Coord, NodeId};
 /// Convenient result alias used throughout the crate.
 pub type Result<T> = std::result::Result<T, Error>;
 
+/// Why a stalled simulation could not drain — the split diagnostic carried by
+/// [`Error::SimulationStalled`].  A network with an active fault plan can
+/// wedge for two very different reasons, and a conformance failure log must
+/// say which: stuck traffic whose remaining route crosses a failed link is a
+/// *partition* (the traffic can never arrive, however long the drain budget),
+/// while stuck traffic on an intact route is a *credit cycle* (a genuine
+/// deadlock or livelock — the failure class the detour turn model exists to
+/// rule out).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum StallCause {
+    /// No buffered flit's remaining route crosses a failed link or router:
+    /// the stuck traffic is wedged on a credit cycle.  The only cause a
+    /// fault-free network can exhibit, so it is the default and keeps the
+    /// historical diagnostic text unchanged.
+    #[default]
+    Deadlock,
+    /// At least one buffered flit's remaining route crosses a failed link or
+    /// a failed router: the stall is explained by the fault set severing the
+    /// path, not by a credit cycle.
+    Partition {
+        /// Buffered flits whose remaining route crosses the fault set.
+        severed_flits: u64,
+    },
+}
+
 /// Errors produced when constructing or querying NoC models.
 #[derive(Debug, Clone, PartialEq, Eq)]
 #[non_exhaustive]
@@ -48,6 +73,17 @@ pub enum Error {
     },
     /// A packet or message was declared with zero length.
     EmptyMessage,
+    /// No surviving route exists between a (source, destination) pair: the
+    /// active fault set partitions the mesh.  Reported instead of fabricating
+    /// a route through dead hardware — callers decide whether a partitioned
+    /// pair is fatal (oracle construction) or merely undeliverable (a NIC
+    /// dropping a retransmission whose destination died).
+    Unreachable {
+        /// Source node of the severed pair.
+        src: NodeId,
+        /// Destination node of the severed pair.
+        dst: NodeId,
+    },
     /// A configuration parameter was outside its valid range.
     InvalidConfig {
         /// Human-readable description of the offending parameter.
@@ -67,6 +103,19 @@ pub enum Error {
         buffered_flits: u64,
         /// Routers still holding at least one flit when the run gave up.
         stalled_routers: usize,
+        /// Whether the stall is explained by the fault set severing routes
+        /// (partition) or by a credit cycle (deadlock).
+        cause: StallCause,
+    },
+    /// A fleet shard failed permanently: its worker was killed (wall-clock
+    /// watchdog) or exited unsuccessfully, and the single retry granted by
+    /// the fleet runner also failed.  Surfaced instead of hanging the
+    /// campaign forever on a wedged worker.
+    ShardFailed {
+        /// Index of the shard that failed both attempts.
+        shard: usize,
+        /// Human-readable description of what happened to the worker.
+        reason: String,
     },
     /// A campaign checkpoint artifact failed validation: unreadable or
     /// unparseable, a digest mismatch against its manifest, or written by a
@@ -123,18 +172,36 @@ impl fmt::Display for Error {
                 write!(f, "no valid route from {src} to {dst}")
             }
             Error::EmptyMessage => write!(f, "message payload must contain at least one flit"),
+            Error::Unreachable { src, dst } => {
+                write!(
+                    f,
+                    "no surviving route from {src} to {dst}: the fault set partitions the mesh"
+                )
+            }
             Error::InvalidConfig { reason } => write!(f, "invalid configuration: {reason}"),
             Error::SimulationStalled {
                 drain_limit,
                 cycle,
                 buffered_flits,
                 stalled_routers,
-            } => write!(
-                f,
-                "simulation stalled at cycle {cycle}: {buffered_flits} flits stuck across \
-                 {stalled_routers} routers after a drain budget of {drain_limit} cycles \
-                 (possible deadlock)"
-            ),
+                cause,
+            } => {
+                write!(
+                    f,
+                    "simulation stalled at cycle {cycle}: {buffered_flits} flits stuck across \
+                     {stalled_routers} routers after a drain budget of {drain_limit} cycles "
+                )?;
+                match cause {
+                    StallCause::Deadlock => write!(f, "(possible deadlock)"),
+                    StallCause::Partition { severed_flits } => write!(
+                        f,
+                        "(partition: {severed_flits} flits' remaining routes cross failed links)"
+                    ),
+                }
+            }
+            Error::ShardFailed { shard, reason } => {
+                write!(f, "fleet shard {shard:03} failed permanently: {reason}")
+            }
             Error::CorruptCheckpoint { path, reason } => {
                 write!(f, "corrupt checkpoint {path}: {reason}")
             }
@@ -181,11 +248,27 @@ mod tests {
             Error::InvalidConfig {
                 reason: "link width must be non-zero".to_string(),
             },
+            Error::Unreachable {
+                src: NodeId(0),
+                dst: NodeId(8),
+            },
             Error::SimulationStalled {
                 drain_limit: 1000,
                 cycle: 1234,
                 buffered_flits: 17,
                 stalled_routers: 3,
+                cause: StallCause::Deadlock,
+            },
+            Error::SimulationStalled {
+                drain_limit: 1000,
+                cycle: 1234,
+                buffered_flits: 17,
+                stalled_routers: 3,
+                cause: StallCause::Partition { severed_flits: 9 },
+            },
+            Error::ShardFailed {
+                shard: 3,
+                reason: "worker exceeded the 30s wall-clock timeout twice".to_string(),
             },
             Error::CorruptCheckpoint {
                 path: "campaign/shard-003.manifest.json".to_string(),
@@ -210,12 +293,36 @@ mod tests {
             cycle: 777,
             buffered_flits: 42,
             stalled_routers: 5,
+            cause: StallCause::Deadlock,
         }
         .to_string();
         assert!(text.contains("cycle 777"), "{text}");
         assert!(text.contains("42 flits"), "{text}");
         assert!(text.contains("5 routers"), "{text}");
         assert!(text.contains("500 cycles"), "{text}");
+        assert!(text.ends_with("(possible deadlock)"), "{text}");
+    }
+
+    #[test]
+    fn stall_display_distinguishes_partition_from_deadlock() {
+        let make = |cause| Error::SimulationStalled {
+            drain_limit: 500,
+            cycle: 777,
+            buffered_flits: 42,
+            stalled_routers: 5,
+            cause,
+        };
+        let deadlock = make(StallCause::Deadlock).to_string();
+        let partition = make(StallCause::Partition { severed_flits: 7 }).to_string();
+        assert!(deadlock.contains("possible deadlock"), "{deadlock}");
+        assert!(!deadlock.contains("partition"), "{deadlock}");
+        assert!(partition.contains("partition"), "{partition}");
+        assert!(partition.contains("7 flits'"), "{partition}");
+        assert!(!partition.contains("deadlock"), "{partition}");
+        // The shared prefix is byte-identical — the cause only changes the
+        // parenthesised tail, so the zero-fault diagnostic is unchanged.
+        let split = |s: &str| s.split(" (").next().unwrap().to_string();
+        assert_eq!(split(&deadlock), split(&partition));
     }
 
     #[test]

@@ -94,14 +94,28 @@ impl FlowSet {
     where
         I: IntoIterator<Item = (NodeId, NodeId)>,
     {
+        Self::from_pairs_with(mesh, pairs, &XyRouting::new())
+    }
+
+    /// Builds a flow set from explicit (source, destination) pairs, routing
+    /// each flow with the given routing algorithm — the degraded-mode entry
+    /// point used by [`crate::fault`] to build tree-rerouted flow sets.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if any pair has `src == dst`, refers to a node outside
+    /// the mesh, or the algorithm reports no route for a pair.
+    pub fn from_pairs_with<I>(mesh: &Mesh, pairs: I, routing: &dyn RoutingAlgorithm) -> Result<Self>
+    where
+        I: IntoIterator<Item = (NodeId, NodeId)>,
+    {
         let mut flows = Vec::new();
         let mut routes = Vec::new();
-        let router = XyRouting::new();
         for (src, dst) in pairs {
             let flow = Flow::new(src, dst)?;
             let src_c = mesh.coord_of(src)?;
             let dst_c = mesh.coord_of(dst)?;
-            routes.push(router.route(mesh, src_c, dst_c)?);
+            routes.push(routing.route(mesh, src_c, dst_c)?);
             flows.push(flow);
         }
         Ok(Self {

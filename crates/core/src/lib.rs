@@ -59,6 +59,7 @@ pub mod arrival;
 pub mod buffers;
 pub mod config;
 pub mod error;
+pub mod fault;
 pub mod flow;
 pub mod geometry;
 pub mod overhead;
@@ -74,7 +75,8 @@ pub use arbitration::ArbitrationPolicy;
 pub use arrival::ArrivalCurve;
 pub use buffers::BufferConfig;
 pub use config::{NocConfig, RouterTiming};
-pub use error::{Error, Result};
+pub use error::{Error, Result, StallCause};
+pub use fault::{Fault, FaultKind, FaultPlan, FaultSet, RetransmitPolicy, TreeRouting};
 pub use flow::{Flow, FlowId, FlowSet};
 pub use geometry::{Coord, MeshDims, NodeId};
 pub use overhead::{MeshOverhead, RouterOverhead};

@@ -12,6 +12,7 @@ use wnoc_core::arbitration::ArbitrationPolicy;
 use wnoc_core::arrival::ArrivalCurve;
 use wnoc_core::buffers::BufferConfig;
 use wnoc_core::config::NocConfig;
+use wnoc_core::fault::{FaultKind, FaultSet, TreeRouting};
 use wnoc_core::flow::FlowSet;
 use wnoc_core::geometry::Coord;
 use wnoc_core::port::Port;
@@ -45,6 +46,7 @@ struct Mirror {
     buffers: BufferConfig,
     vcs: VcConfig,
     curve: ArrivalCurve,
+    faults: Vec<FaultKind>,
 }
 
 impl Mirror {
@@ -62,12 +64,54 @@ impl Mirror {
             }
             Mutation::SetVcs(vcs) => self.vcs = vcs,
             Mutation::SetArrivalCurve(curve) => self.curve = curve,
+            Mutation::FailLink { from, direction } => {
+                self.faults.push(FaultKind::Link { from, direction });
+                self.prune_severed();
+            }
+            Mutation::FailRouter { at } => {
+                self.faults.push(FaultKind::Router { at });
+                self.prune_severed();
+            }
+        }
+    }
+
+    fn fault_set(&self) -> FaultSet {
+        let mut set = FaultSet::empty(&self.mesh);
+        for &kind in &self.faults {
+            set.add(kind);
+        }
+        set
+    }
+
+    /// Drops the pairs the cumulative fault set severed, mirroring the
+    /// engine's reroute-on-fault semantics.
+    fn prune_severed(&mut self) {
+        let mesh = self.mesh;
+        let tree = TreeRouting::new(&self.fault_set());
+        self.pairs.retain(|&(src, dst)| {
+            let s = mesh.coord_of(src).unwrap();
+            let d = mesh.coord_of(dst).unwrap();
+            tree.reachable(s, d)
+        });
+    }
+
+    /// The from-scratch flow set of the current state: XY-routed while
+    /// healthy, tree-rerouted over the surviving topology once any fault is
+    /// active.
+    fn flow_set(&self) -> FlowSet {
+        if self.faults.is_empty() {
+            FlowSet::from_pairs(&self.mesh, self.pairs.iter().copied()).unwrap()
+        } else {
+            let tree = TreeRouting::new(&self.fault_set());
+            FlowSet::from_pairs_with(&self.mesh, self.pairs.iter().copied(), &tree).unwrap()
         }
     }
 }
 
-/// Draws one applicable mutation for the current design state.
-fn draw_mutation(rng: &mut Rng, mesh: &Mesh, flow_count: usize) -> Mutation {
+/// Draws one applicable mutation for the current design state.  Once a fault
+/// is active the engine rejects XY-routed flow-shape mutations, so those
+/// leave the pool; at most `3` faults are drawn per sequence.
+fn draw_mutation(rng: &mut Rng, mesh: &Mesh, flow_count: usize, fault_count: usize) -> Mutation {
     let nodes = mesh.router_count() as u64;
     let endpoint_pair = |rng: &mut Rng| loop {
         let src = NodeId(rng.below(nodes) as usize);
@@ -77,10 +121,10 @@ fn draw_mutation(rng: &mut Rng, mesh: &Mesh, flow_count: usize) -> Mutation {
         }
     };
     loop {
-        match rng.below(10) {
+        match rng.below(12) {
             // Placement moves dominate the pool, mirroring the DSE driver.
             0..=2 => {
-                if flow_count == 0 {
+                if flow_count == 0 || fault_count > 0 {
                     continue;
                 }
                 let id = FlowId(rng.below(flow_count as u64) as usize);
@@ -88,6 +132,9 @@ fn draw_mutation(rng: &mut Rng, mesh: &Mesh, flow_count: usize) -> Mutation {
                 return Mutation::MoveFlow { id, src, dst };
             }
             3 => {
+                if fault_count > 0 {
+                    continue;
+                }
                 let (src, dst) = endpoint_pair(rng);
                 return Mutation::AddFlow { src, dst };
             }
@@ -96,6 +143,24 @@ fn draw_mutation(rng: &mut Rng, mesh: &Mesh, flow_count: usize) -> Mutation {
                     continue;
                 }
                 return Mutation::RemoveLastFlow;
+            }
+            10 => {
+                if fault_count >= 3 {
+                    continue;
+                }
+                let links = mesh.links();
+                let link = links[rng.below(links.len() as u64) as usize];
+                return Mutation::FailLink {
+                    from: link.from,
+                    direction: link.direction,
+                };
+            }
+            11 => {
+                if fault_count >= 3 {
+                    continue;
+                }
+                let at = mesh.coord_of(NodeId(rng.below(nodes) as usize)).unwrap();
+                return Mutation::FailRouter { at };
             }
             5..=6 => {
                 let node = NodeId(rng.below(nodes) as usize);
@@ -125,7 +190,7 @@ fn draw_mutation(rng: &mut Rng, mesh: &Mesh, flow_count: usize) -> Mutation {
 /// Asserts every bound the engine exports for `ids` equals the corresponding
 /// freshly-built oracle's, bit for bit.
 fn assert_matches_scratch(engine: &mut IncrementalAnalysis, mirror: &Mirror, ids: &[FlowId]) {
-    let flows = FlowSet::from_pairs(&mirror.mesh, mirror.pairs.iter().copied()).unwrap();
+    let flows = mirror.flow_set();
     let config = *engine.config();
     let mut suite =
         oracle_suite_with_vcs(&flows, &config, mirror.mesh, &mirror.buffers, mirror.vcs).unwrap();
@@ -193,10 +258,11 @@ fn run_sequence(side: u16, config: NocConfig, seed: u64, mutation_count: usize) 
         // The engine seeds its graph-based analysis with the burst-free
         // contract.
         curve: ArrivalCurve::periodic(1),
+        faults: Vec::new(),
     };
     let mut rng = Rng(seed | 1);
     for step in 0..mutation_count {
-        let mutation = draw_mutation(&mut rng, &mesh, mirror.pairs.len());
+        let mutation = draw_mutation(&mut rng, &mesh, mirror.pairs.len(), mirror.faults.len());
         engine.apply(&mutation).unwrap();
         mirror.apply(&mutation);
         assert_eq!(

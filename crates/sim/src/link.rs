@@ -79,6 +79,28 @@ impl SimLink {
         Ok(())
     }
 
+    /// Every flit currently traversing the link, oldest first (fault
+    /// diagnostics: classifying a stalled network as partitioned vs
+    /// deadlocked).
+    pub fn in_flight_ids(&self) -> impl Iterator<Item = FlitId> + '_ {
+        (0..self.len)
+            .filter_map(move |offset| self.slots[(self.head + offset) % self.slots.len()].1)
+    }
+
+    /// Fault-epoch flush: empties the pipeline into `purged` and resets the
+    /// per-cycle bandwidth gate (the new epoch starts from silence).
+    pub fn purge_into(&mut self, purged: &mut Vec<FlitId>) {
+        while self.len > 0 {
+            let (_, id) = std::mem::take(&mut self.slots[self.head]);
+            self.head = (self.head + 1) % self.slots.len();
+            self.len -= 1;
+            if let Some(id) = id {
+                purged.push(id);
+            }
+        }
+        self.last_push = None;
+    }
+
     /// Advances the link to cycle `now` and returns the flit (if any) that
     /// has completed its traversal and must be delivered downstream.
     pub fn advance(&mut self, now: Cycle) -> Option<FlitId> {

@@ -58,13 +58,15 @@
 
 use std::collections::HashMap;
 
+use wnoc_core::arbitration::ArbitrationPolicy;
+use wnoc_core::fault::reroute_flows;
 use wnoc_core::flow::FlowSet;
 use wnoc_core::packetization::Packetizer;
 use wnoc_core::vc::VcConfig;
 use wnoc_core::weights::WeightTable;
 use wnoc_core::{
-    BufferConfig, Coord, Cycle, Direction, Error, FlowId, Mesh, MessageId, NocConfig, NodeId, Port,
-    Result,
+    BufferConfig, Coord, Cycle, Direction, Error, FaultPlan, FaultSet, FlowId, Mesh, MessageId,
+    NocConfig, NodeId, Port, Result, RetransmitPolicy, StallCause, TreeRouting,
 };
 
 use crate::arena::{FlitArena, FlitId};
@@ -101,6 +103,31 @@ struct MessageProgress {
     first_injection: Option<Cycle>,
     expected_flits: u32,
     received_flits: u32,
+    /// The regular-packetization size the message was offered with — what a
+    /// retransmission must re-offer (`expected_flits` counts *wire* flits,
+    /// including WaP control slices, and is not a valid offer size).
+    regular_flits: u32,
+    /// Fault-epoch retransmissions this message has already been through.
+    retries: u32,
+}
+
+/// One NACKed message waiting out its retransmission backoff.
+#[derive(Debug, Clone, Copy)]
+struct Retransmit {
+    /// Cycle at which the source NIC re-offers the message.
+    due: Cycle,
+    src: NodeId,
+    dst: NodeId,
+    flow: FlowId,
+    /// The original message id — a retransmission is the *same* message
+    /// going around again, so delivery records and per-NIC id streams stay
+    /// stable across fault epochs.
+    message: MessageId,
+    regular_flits: u32,
+    /// The original offer cycle (end-to-end latency spans the outage).
+    created: Cycle,
+    /// Retries already consumed *before* this attempt.
+    retry: u32,
 }
 
 /// A message that has been completely delivered to its destination NIC.
@@ -271,6 +298,25 @@ pub struct Network {
     /// Successful worm fast-forwards (diagnostics: confirms the closed form
     /// actually fires on sparse workloads).
     fast_forwards: u64,
+    /// The construction flow set, kept so a fault epoch can rebuild the WaW
+    /// arbitration quotas from the survivors' tree routes (quotas are a
+    /// static function of the flow-to-route mapping, so rerouting without
+    /// reweighting would arbitrate detoured traffic on stale XY quotas).
+    construction_flows: FlowSet,
+    /// The installed fault plan (empty by default: the zero-fault fast path
+    /// costs two branch checks per step and nothing else).
+    plan: FaultPlan,
+    /// Retransmission policy for messages NACKed by a fault epoch flush.
+    policy: RetransmitPolicy,
+    /// The faults currently active, and the up*/down* tree routing over the
+    /// surviving topology (`None` until the first activation fires).
+    faults: Option<FaultSet>,
+    tree: Option<TreeRouting>,
+    /// The next fault activation cycle not yet applied — the fault wake
+    /// event folded into [`Network::next_horizon`].
+    pending_activation: Option<Cycle>,
+    /// NACKed messages waiting out their retransmission backoff.
+    retransmit: Vec<Retransmit>,
 }
 
 impl Network {
@@ -454,6 +500,13 @@ impl Network {
             stats: NetworkStats::new(),
             cycle: 0,
             fast_forwards: 0,
+            construction_flows: flows.clone(),
+            plan: FaultPlan::new(),
+            policy: RetransmitPolicy::default(),
+            faults: None,
+            tree: None,
+            pending_activation: None,
+            retransmit: Vec::new(),
         })
     }
 
@@ -574,14 +627,20 @@ impl Network {
     ///
     /// # Errors
     ///
-    /// Returns [`Error::SelfFlow`] if `src == dst`, or an out-of-bounds error if
-    /// either node does not exist.
+    /// Returns [`Error::SelfFlow`] if `src == dst`, an out-of-bounds error if
+    /// either node does not exist, or [`Error::Unreachable`] if active faults
+    /// have partitioned the pair (or killed either endpoint's router).
     pub fn offer(&mut self, src: NodeId, dst: NodeId, size_flits: u32) -> Result<MessageId> {
         if src == dst {
             return Err(Error::SelfFlow { node: src });
         }
-        self.mesh.coord_of(src)?;
-        self.mesh.coord_of(dst)?;
+        let src_coord = self.mesh.coord_of(src)?;
+        let dst_coord = self.mesh.coord_of(dst)?;
+        if let Some(tree) = &self.tree {
+            if !tree.reachable(src_coord, dst_coord) {
+                return Err(Error::Unreachable { src, dst });
+            }
+        }
         if size_flits == 0 {
             return Err(Error::EmptyMessage);
         }
@@ -599,6 +658,8 @@ impl Network {
                 first_injection: None,
                 expected_flits: offered.wire_flits,
                 received_flits: 0,
+                regular_flits: size_flits,
+                retries: 0,
             },
         );
         Ok(offered.id)
@@ -608,6 +669,17 @@ impl Network {
     pub fn step(&mut self) {
         self.cycle += 1;
         let now = self.cycle;
+
+        // Phase 0 (fault machinery; two branch checks when no plan is
+        // installed): a fault activation due this cycle flushes the epoch
+        // before any component acts, and NACKed messages whose backoff
+        // expired re-enter through their source NICs.
+        if self.pending_activation.is_some_and(|due| due <= now) {
+            self.apply_fault_state(now, now);
+        }
+        if !self.retransmit.is_empty() {
+            self.release_due_retransmits(now);
+        }
 
         // Phase 1: actable routers take their forwarding decisions and the
         // network applies them (link pushes, ejections, credit returns).
@@ -812,13 +884,15 @@ impl Network {
         let quiescent = self.active_routers.is_empty()
             && self.active_links.is_empty()
             && self.active_nics.is_empty()
-            && self.tracker.is_empty();
+            && self.tracker.is_empty()
+            && self.retransmit.is_empty();
         debug_assert_eq!(
             quiescent,
             self.nics.iter().all(Nic::is_drained)
                 && self.routers.iter().all(Router::is_idle)
                 && self.links.iter().all(|l| l.in_flight() == 0)
                 && self.tracker.is_empty()
+                && self.retransmit.is_empty()
                 && self.arena.is_empty(),
             "active sets drifted from component state at cycle {}",
             self.cycle
@@ -875,13 +949,32 @@ impl Network {
     /// cycle stored at their ring heads — every cycle before it is provably
     /// inert and can be skipped wholesale via [`Network::advance_to`].
     pub fn next_horizon(&self) -> Option<Cycle> {
+        // Fault machinery wake events: a pending fault activation and due
+        // retransmission releases bound the horizon too (the dense kernel
+        // never jumps, so any future event pins it to the very next cycle).
+        let mut horizon: Option<Cycle> = None;
+        if let Some(due) = self.pending_activation {
+            let due = if self.dense { self.cycle + 1 } else { due };
+            horizon = Some(due.max(self.cycle + 1));
+        }
+        for entry in &self.retransmit {
+            let due = if self.dense {
+                self.cycle + 1
+            } else {
+                entry.due
+            };
+            let due = due.max(self.cycle + 1);
+            horizon = Some(horizon.map_or(due, |h: Cycle| h.min(due)));
+        }
         if !self.active_routers.is_empty() || !self.active_nics.is_empty() {
             return Some(self.cycle + 1);
         }
         if self.dense {
-            return (!self.active_links.is_empty()).then_some(self.cycle + 1);
+            if !self.active_links.is_empty() {
+                return Some(self.cycle + 1);
+            }
+            return horizon;
         }
-        let mut horizon = None;
         for &index in &self.active_links.list {
             if let Some(due) = self.links[index as usize].next_due() {
                 let due = due.max(self.cycle + 1);
@@ -1076,6 +1169,17 @@ impl Network {
         if last_delivery > cap {
             return false;
         }
+        // A fault activation or retransmission release inside the jump window
+        // would interleave with the worm; fall back to per-cycle stepping.
+        if self
+            .pending_activation
+            .is_some_and(|due| due <= last_delivery)
+        {
+            return false;
+        }
+        if self.retransmit.iter().any(|r| r.due <= last_delivery) {
+            return false;
+        }
 
         // Verification pass B: walk the XY path destination-ward from the
         // tail-most holder; every holder must sit on it at its claimed
@@ -1197,6 +1301,57 @@ impl Network {
                 .iter()
                 .filter(|r| r.buffered_flits() > 0)
                 .count(),
+            cause: self.stall_cause(),
+        }
+    }
+
+    /// Classifies a failed drain: if any stuck flit's destination is
+    /// unreachable from where the flit sits (its remaining route would cross
+    /// failed hardware), the stall is a **partition**; otherwise it is a
+    /// credit-cycle **deadlock** candidate.  A healthy network (no faults
+    /// ever activated) always classifies as a deadlock candidate.
+    fn stall_cause(&self) -> StallCause {
+        let Some(tree) = &self.tree else {
+            return StallCause::Deadlock;
+        };
+        let severed_at = |index: usize, id: FlitId| -> bool {
+            let at = self
+                .mesh
+                .coord_of(NodeId(index))
+                .expect("router index in mesh");
+            match self.mesh.coord_of(self.arena.get(id).dst) {
+                Ok(dst) => !tree.reachable(at, dst),
+                Err(_) => true,
+            }
+        };
+        let mut severed = 0u64;
+        for (index, router) in self.routers.iter().enumerate() {
+            severed += router
+                .buffered_flit_ids()
+                .filter(|&id| severed_at(index, id))
+                .count() as u64;
+        }
+        for (link, sim_link) in self.links.iter().enumerate() {
+            // In-flight flits are judged from the downstream router they are
+            // about to enter.
+            let (to, _) = self.link_dst[link];
+            severed += sim_link
+                .in_flight_ids()
+                .filter(|&id| severed_at(to as usize, id))
+                .count() as u64;
+        }
+        for (index, nic) in self.nics.iter().enumerate() {
+            severed += nic
+                .pending_ids()
+                .filter(|&id| severed_at(index, id))
+                .count() as u64;
+        }
+        if severed > 0 {
+            StallCause::Partition {
+                severed_flits: severed,
+            }
+        } else {
+            StallCause::Deadlock
         }
     }
 
@@ -1223,6 +1378,247 @@ impl Network {
         for _ in 0..cycles {
             self.step();
         }
+    }
+
+    /// Installs a fault plan: permanent link/router failures that activate at
+    /// their scheduled cycles, with `policy` governing the retransmission of
+    /// messages caught in a fault epoch.
+    ///
+    /// Faults whose activation is not in the future take effect immediately
+    /// (install before offering traffic to start in a degraded topology);
+    /// later activations fire at the top of their scheduled cycle, before any
+    /// component acts.  Each activation performs a **full epoch flush**: every
+    /// in-network flit is purged, every live message is NACKed back to its
+    /// source NIC — re-offered after an exponential backoff under the same
+    /// message id, or dropped as undeliverable once its endpoints are severed
+    /// or its retry budget is exhausted — and all surviving routers switch to
+    /// deadlock-free up*/down* tree routing over the surviving topology.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidConfig`] if a non-empty plan is already
+    /// installed, or the plan's validation error if it does not fit the mesh.
+    pub fn install_fault_plan(&mut self, plan: FaultPlan, policy: RetransmitPolicy) -> Result<()> {
+        if !self.plan.is_empty() {
+            return Err(Error::InvalidConfig {
+                reason: "fault plan already installed".into(),
+            });
+        }
+        plan.validate(&self.mesh)?;
+        self.plan = plan;
+        self.policy = policy;
+        let now = self.cycle;
+        if self.plan.faults().iter().any(|f| f.activation <= now) {
+            // Between steps the decisions of `now` are already taken, so the
+            // pre-fault epoch closes *through* `now` (an in-step activation
+            // closes through `now - 1` instead).
+            self.apply_fault_state(now, now + 1);
+        } else {
+            self.pending_activation = self.plan.next_activation_after(now);
+        }
+        Ok(())
+    }
+
+    /// The installed fault plan (empty when none was installed).
+    pub fn fault_plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// The faults active right now, or `None` before the first activation.
+    pub fn active_faults(&self) -> Option<&FaultSet> {
+        self.faults.as_ref()
+    }
+
+    /// The fault-tolerant tree routing in force, or `None` while the network
+    /// still routes XY (no activation has fired).
+    pub fn tree_routing(&self) -> Option<&TreeRouting> {
+        self.tree.as_ref()
+    }
+
+    /// Messages currently waiting out a retransmission backoff.
+    pub fn retransmit_backlog(&self) -> usize {
+        self.retransmit.len()
+    }
+
+    /// Applies every fault scheduled at or before `active_cycle` and flushes
+    /// the epoch.  `replay_next` is the replay horizon that closes the
+    /// pre-fault epoch: every router's lazily-skipped arbiter cycles up to
+    /// `replay_next - 1` are settled against the *pre-purge* frozen state, so
+    /// the dense and event-horizon kernels — bit-identical before the flush —
+    /// remain bit-identical after it.
+    fn apply_fault_state(&mut self, active_cycle: Cycle, replay_next: Cycle) {
+        debug_assert!(
+            self.scratch_wire.is_empty(),
+            "activation runs before phase 1"
+        );
+        let faults = self.plan.active_at(&self.mesh, active_cycle);
+        self.pending_activation = self.plan.next_activation_after(active_cycle);
+        let tree = TreeRouting::new(&faults);
+
+        // Close the pre-fault epoch: settle every router's skipped arbiter
+        // cycles against the frozen pre-purge request state.
+        for router in &mut self.routers {
+            router.replay_idle(&self.arena, replay_next);
+        }
+
+        // Epoch flush: purge every queued and in-flight flit, reset credits
+        // to construction values (everything is empty again), clear holds,
+        // and swap the surviving routers to tree-routed LUTs.  Dead routers
+        // keep their stale state — nothing routes to or through them again.
+        let mut purged = Vec::new();
+        // Degraded-mode reconfiguration covers arbitration, not just routes:
+        // WaW quotas are a static function of the flow-to-route mapping, so
+        // the surviving routers' arbiters are rebuilt from the survivors'
+        // tree routes (round-robin arbiters carry no route-derived state and
+        // keep their construction instances).
+        let reweighted = (self.config.arbitration == ArbitrationPolicy::Waw).then(|| {
+            let reroute = reroute_flows(&self.construction_flows, &tree)
+                .expect("pairs the forest reports reachable always have a tree route");
+            WeightTable::from_flow_set(&reroute.flows)
+        });
+        for (index, coord) in self.mesh.routers().enumerate() {
+            let credits = self.construction_credits(coord);
+            self.routers[index].purge_for_epoch(&credits, &mut purged);
+            if tree.alive(coord) {
+                if let Ok(lut) = tree.lut_for(coord) {
+                    self.routers[index].set_route_lut(lut);
+                }
+                if let Some(weights) = &reweighted {
+                    self.routers[index].reset_arbiters(self.config.arbitration, weights);
+                }
+            }
+        }
+        for link in &mut self.links {
+            link.purge_into(&mut purged);
+        }
+        for nic in &mut self.nics {
+            nic.purge_into(&mut purged);
+        }
+        self.stats.flits_purged += purged.len() as u64;
+        for id in purged {
+            self.arena.free(id);
+        }
+        debug_assert!(
+            self.arena.is_empty(),
+            "epoch flush frees every live flit at cycle {active_cycle}"
+        );
+        self.active_routers.clear();
+        self.active_links.clear();
+        self.active_nics.clear();
+
+        // NACK every live message in deterministic (source, id) order:
+        // deliverable pairs re-enter through the retransmission queue after
+        // an exponential backoff; severed pairs and exhausted retry budgets
+        // drop as undeliverable.
+        let mut nacked: Vec<((NodeId, MessageId), MessageProgress)> =
+            self.tracker.drain().collect();
+        nacked.sort_unstable_by_key(|&(key, _)| key);
+        for ((src, message), progress) in nacked {
+            let reachable = match (self.mesh.coord_of(src), self.mesh.coord_of(progress.dst)) {
+                (Ok(s), Ok(d)) => tree.reachable(s, d),
+                _ => false,
+            };
+            if !reachable || progress.retries >= self.policy.max_retries {
+                self.stats.messages_undeliverable += 1;
+                continue;
+            }
+            self.stats.messages_retransmitted += 1;
+            *self
+                .stats
+                .retransmits_by_flow
+                .entry(progress.flow)
+                .or_insert(0) += 1;
+            self.retransmit.push(Retransmit {
+                due: active_cycle.saturating_add(self.policy.backoff_delay(progress.retries)),
+                src,
+                dst: progress.dst,
+                flow: progress.flow,
+                message,
+                regular_flits: progress.regular_flits,
+                created: progress.created,
+                retry: progress.retries,
+            });
+        }
+        self.faults = Some(faults);
+        self.tree = Some(tree);
+    }
+
+    /// Re-offers every retransmission whose backoff expired, in deterministic
+    /// `(due, src, message)` order.  A later activation may have severed a
+    /// pair after its NACK, so reachability is re-checked at release.
+    fn release_due_retransmits(&mut self, now: Cycle) {
+        if !self.retransmit.iter().any(|r| r.due <= now) {
+            return;
+        }
+        let mut due: Vec<Retransmit> = Vec::new();
+        let mut index = 0;
+        while index < self.retransmit.len() {
+            if self.retransmit[index].due <= now {
+                due.push(self.retransmit.swap_remove(index));
+            } else {
+                index += 1;
+            }
+        }
+        due.sort_unstable_by_key(|r| (r.due, r.src, r.message));
+        for entry in due {
+            let reachable = match (
+                self.tree.as_ref(),
+                self.mesh.coord_of(entry.src),
+                self.mesh.coord_of(entry.dst),
+            ) {
+                (Some(tree), Ok(s), Ok(d)) => tree.reachable(s, d),
+                (None, ..) => true,
+                _ => false,
+            };
+            if !reachable {
+                self.stats.messages_undeliverable += 1;
+                continue;
+            }
+            let offered = self.nics[entry.src.index()].reoffer(
+                &mut self.arena,
+                entry.dst,
+                entry.flow,
+                entry.regular_flits,
+                now,
+                entry.message,
+            );
+            self.active_nics.insert(entry.src.index());
+            self.tracker.insert(
+                (entry.src, entry.message),
+                MessageProgress {
+                    flow: entry.flow,
+                    dst: entry.dst,
+                    created: entry.created,
+                    first_injection: None,
+                    expected_flits: offered.wire_flits,
+                    received_flits: 0,
+                    regular_flits: entry.regular_flits,
+                    retries: entry.retry + 1,
+                },
+            );
+        }
+    }
+
+    /// The construction-time output-credit array of `coord` — what the
+    /// constructor derived from [`BufferConfig::credits_towards`], recomputed
+    /// for the epoch-flush credit reset (with every ring empty, credits
+    /// return to their full construction values).
+    fn construction_credits(&self, coord: Coord) -> [u32; Port::COUNT] {
+        let node = self.mesh.node_id(coord).expect("router coord in mesh");
+        let mut output_credits = [0u32; Port::COUNT];
+        for port in Port::ALL {
+            output_credits[port.index()] = match port {
+                Port::Mesh(dir) => match self.mesh.neighbor(coord, dir) {
+                    Some(downstream) => self.buffers.credits_towards(
+                        self.mesh.node_id(downstream).expect("neighbour in mesh"),
+                        Port::Mesh(dir.opposite()),
+                    ),
+                    None => 0,
+                },
+                Port::Local => self.buffers.depth(node, Port::Local),
+            };
+        }
+        output_credits
     }
 }
 
@@ -1399,10 +1795,14 @@ mod tests {
                 cycle,
                 buffered_flits,
                 stalled_routers: _,
+                cause,
             } => {
                 assert_eq!(drain_limit, 1);
                 assert_eq!(cycle, noc.cycle());
                 assert!(buffered_flits > 0, "traffic is still in the system");
+                // No fault was ever activated: the stall classifies as a
+                // deadlock candidate, never a partition.
+                assert_eq!(cause, StallCause::Deadlock);
             }
             other => panic!("expected SimulationStalled, got {other:?}"),
         }
@@ -1517,6 +1917,147 @@ mod tests {
             assert_eq!(noc.stats().messages_delivered, 15);
             assert!(noc.arena().is_empty());
         }
+    }
+
+    #[test]
+    fn cycle_zero_router_fault_reroutes_and_rejects_unreachable() {
+        let mut noc = build(4, NocConfig::regular(4));
+        let mut plan = FaultPlan::new();
+        plan.fail_router(Coord::from_row_col(1, 1), 0);
+        noc.install_fault_plan(plan, RetransmitPolicy::default())
+            .unwrap();
+        assert!(
+            noc.tree_routing().is_some(),
+            "activation applied at install"
+        );
+        let dead = node(&noc, 1, 1);
+        let src = node(&noc, 3, 3);
+        let dst = node(&noc, 0, 0);
+        // Endpoints on the dead router are unreachable in either direction.
+        assert!(matches!(
+            noc.offer(src, dead, 2),
+            Err(Error::Unreachable { .. })
+        ));
+        assert!(matches!(
+            noc.offer(dead, dst, 2),
+            Err(Error::Unreachable { .. })
+        ));
+        // Surviving pairs deliver over the tree-routed detour.
+        noc.offer(src, dst, 4).unwrap();
+        assert!(noc.run_until_drained(10_000));
+        assert_eq!(noc.stats().messages_delivered, 1);
+        assert_eq!(noc.stats().messages_undeliverable, 0);
+        // A second plan cannot be installed over the first.
+        assert!(noc
+            .install_fault_plan(FaultPlan::new(), RetransmitPolicy::default())
+            .is_err());
+    }
+
+    #[test]
+    fn midrun_link_fault_retransmits_under_original_id() {
+        let mut noc = build(4, NocConfig::regular(4));
+        let mut plan = FaultPlan::new();
+        // The XY route (0,3) -> (0,0) runs west along row 0; cut it mid-worm.
+        plan.fail_link(Coord::from_row_col(0, 2), Direction::West, 3);
+        noc.install_fault_plan(plan, RetransmitPolicy::default())
+            .unwrap();
+        let src = node(&noc, 0, 3);
+        let dst = node(&noc, 0, 0);
+        let id = noc.offer(src, dst, 4).unwrap();
+        assert!(noc.run_until_drained(10_000));
+        let stats = noc.stats();
+        assert_eq!(stats.messages_retransmitted, 1, "worm caught in the flush");
+        assert_eq!(stats.messages_delivered, 1);
+        assert_eq!(stats.messages_undeliverable, 0);
+        assert!(stats.flits_purged > 0, "in-flight flits were purged");
+        let flow = noc.flow_id(src, dst);
+        assert_eq!(noc.stats().retransmits_by_flow.get(&flow), Some(&1));
+        let delivered = noc.take_delivered();
+        assert_eq!(delivered.len(), 1);
+        assert_eq!(delivered[0].message, id, "same message id after the NACK");
+        assert_eq!(delivered[0].created, 0, "latency spans the outage");
+    }
+
+    #[test]
+    fn destination_death_drops_undeliverable_and_still_drains() {
+        let mut noc = build(4, NocConfig::regular(4));
+        let mut plan = FaultPlan::new();
+        plan.fail_router(Coord::from_row_col(0, 0), 3);
+        noc.install_fault_plan(plan, RetransmitPolicy::default())
+            .unwrap();
+        let src = node(&noc, 0, 3);
+        let dst = node(&noc, 0, 0);
+        noc.offer(src, dst, 4).unwrap();
+        // The network must drain — dropping the severed message — rather
+        // than wedge on traffic that can never arrive.
+        assert!(noc.run_until_drained(10_000));
+        assert_eq!(noc.stats().messages_delivered, 0);
+        assert_eq!(noc.stats().messages_undeliverable, 1);
+        assert_eq!(noc.stats().messages_retransmitted, 0);
+        assert!(noc.arena().is_empty());
+    }
+
+    #[test]
+    fn exhausted_retry_budget_drops_the_message() {
+        let mut noc = build(4, NocConfig::regular(4));
+        let mut plan = FaultPlan::new();
+        plan.fail_link(Coord::from_row_col(0, 2), Direction::West, 3);
+        let policy = RetransmitPolicy {
+            max_retries: 0,
+            ..RetransmitPolicy::default()
+        };
+        noc.install_fault_plan(plan, policy).unwrap();
+        let src = node(&noc, 0, 3);
+        let dst = node(&noc, 0, 0);
+        noc.offer(src, dst, 4).unwrap();
+        assert!(noc.run_until_drained(10_000));
+        assert_eq!(noc.stats().messages_delivered, 0);
+        assert_eq!(noc.stats().messages_undeliverable, 1);
+    }
+
+    #[test]
+    fn kernels_agree_across_midrun_fault_epoch() {
+        // The fault epoch flush must preserve the dense / event-horizon
+        // bit-identity contract: same deliveries, same cycles, same latencies
+        // through an activation that truncates in-flight worms.
+        let run = |dense: bool| {
+            let mut noc = build(4, NocConfig::waw_wap());
+            if dense {
+                noc.set_dense_kernel(true);
+            }
+            let mut plan = FaultPlan::new();
+            plan.fail_link(Coord::from_row_col(1, 1), Direction::East, 5);
+            plan.fail_router(Coord::from_row_col(2, 2), 40);
+            noc.install_fault_plan(plan, RetransmitPolicy::default())
+                .unwrap();
+            let dst = node(&noc, 0, 0);
+            for row in 0..4u16 {
+                for col in 0..4u16 {
+                    if row == 0 && col == 0 {
+                        continue;
+                    }
+                    let src = node(&noc, row, col);
+                    if noc.offer(src, dst, 3).is_err() {
+                        unreachable!("all pairs reachable before activation");
+                    }
+                }
+            }
+            noc.step_until_quiescent(50_000).unwrap();
+            let delivered = noc.take_delivered();
+            (
+                noc.cycle(),
+                noc.stats().flits_delivered,
+                noc.stats().messages_delivered,
+                noc.stats().messages_retransmitted,
+                noc.stats().messages_undeliverable,
+                noc.stats().flits_purged,
+                noc.stats().overall_traversal_latency(),
+                delivered,
+            )
+        };
+        let horizon = run(false);
+        let dense = run(true);
+        assert_eq!(horizon, dense);
     }
 
     #[test]

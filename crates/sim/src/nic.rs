@@ -114,10 +114,56 @@ impl Nic {
         size_flits: u32,
         now: Cycle,
     ) -> OfferedMessage {
-        assert!(size_flits > 0, "messages must contain at least one flit");
         let id = MessageId(self.next_message);
         self.next_message += 1;
         self.messages_offered += 1;
+        self.enqueue(arena, id, dst, flow, size_flits, now)
+    }
+
+    /// Re-queues a message purged by a fault epoch flush under its **original
+    /// id** — a retransmission is the same message going around again, so the
+    /// id counter and the offered-message count stay untouched.  `now` is the
+    /// release cycle; the network's tracker keeps the original creation cycle
+    /// for end-to-end latency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size_flits` is zero (callers validate message sizes).
+    pub fn reoffer(
+        &mut self,
+        arena: &mut FlitArena,
+        dst: NodeId,
+        flow: FlowId,
+        size_flits: u32,
+        now: Cycle,
+        id: MessageId,
+    ) -> OfferedMessage {
+        self.enqueue(arena, id, dst, flow, size_flits, now)
+    }
+
+    /// Fault-epoch flush: hands every queued flit to `purged` and forgets
+    /// the queued messages (the network NACKs them from its tracker).
+    pub fn purge_into(&mut self, purged: &mut Vec<FlitId>) {
+        purged.extend(self.pending.drain(..));
+        self.pending_messages.clear();
+    }
+
+    /// Every flit awaiting injection (fault diagnostics: classifying a
+    /// stalled network as partitioned vs deadlocked).
+    pub fn pending_ids(&self) -> impl Iterator<Item = FlitId> + '_ {
+        self.pending.iter().copied()
+    }
+
+    fn enqueue(
+        &mut self,
+        arena: &mut FlitArena,
+        id: MessageId,
+        dst: NodeId,
+        flow: FlowId,
+        size_flits: u32,
+        now: Cycle,
+    ) -> OfferedMessage {
+        assert!(size_flits > 0, "messages must contain at least one flit");
         let descriptor = MessageDescriptor {
             id,
             flow,

@@ -302,6 +302,86 @@ impl Router {
         self.credits[slot] += 1;
     }
 
+    /// Every flit buffered in this router's input rings (fault diagnostics:
+    /// classifying a stalled network as partitioned vs deadlocked).
+    pub(crate) fn buffered_flit_ids(&self) -> impl Iterator<Item = FlitId> + '_ {
+        self.inputs
+            .iter()
+            .flatten()
+            .flat_map(|buffer| buffer.iter())
+    }
+
+    /// Fault-epoch flush: drains every input ring into `purged`, clears all
+    /// wormhole holds, and resets every credit counter to its construction
+    /// value (`output_credits[port]` for existing ports — with every
+    /// downstream ring empty again, full credit is exact).  Arbiter state and
+    /// the lazily-replayed idle accounting are deliberately *not* reset: the
+    /// epoch boundary must be bit-identical between the dense and
+    /// event-horizon kernels, and both carry their (already reconciled)
+    /// arbiter state across it.
+    pub(crate) fn purge_for_epoch(
+        &mut self,
+        output_credits: &[u32; Port::COUNT],
+        purged: &mut Vec<FlitId>,
+    ) {
+        for slot in 0..self.inputs.len() {
+            if let Some(buffer) = &mut self.inputs[slot] {
+                while let Some(id) = buffer.pop() {
+                    self.buffered -= 1;
+                    purged.push(id);
+                }
+            }
+        }
+        debug_assert_eq!(self.buffered, 0, "purge drained every ring");
+        for port in Port::ALL {
+            let exists = self.inputs[self.slot(port, 0)].is_some();
+            for vc in 0..self.vc_count {
+                let slot = self.slot(port, vc);
+                self.holds[slot] = None;
+                self.credits[slot] = if exists {
+                    output_credits[port.index()]
+                } else {
+                    0
+                };
+            }
+        }
+    }
+
+    /// Replaces the per-destination routing LUT (fault-tolerant rerouting:
+    /// the surviving routers switch from XY to up*/down* tree routing when a
+    /// fault epoch activates).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lut` does not cover every node of the construction mesh.
+    pub(crate) fn set_route_lut(&mut self, lut: Vec<Port>) {
+        assert_eq!(
+            lut.len(),
+            self.route.len(),
+            "routing LUT of {} must cover every node",
+            self.coord
+        );
+        self.route = lut.into_boxed_slice();
+    }
+
+    /// Rebuilds every port arbiter from `weights`, exactly as construction
+    /// does (fault-tolerant rerouting: WaW quotas are a static function of
+    /// the flow-to-route mapping, so an epoch that reroutes the survivors
+    /// must reprogram the arbiters too).  The caller is mid-epoch-flush —
+    /// every buffer is already empty — so discarding round/quota state is
+    /// the point, not a hazard.
+    pub(crate) fn reset_arbiters(&mut self, policy: ArbitrationPolicy, weights: &WeightTable) {
+        let mut arbiters: Vec<Box<dyn PortArbiter>> =
+            Vec::with_capacity(Port::COUNT * self.vc_count);
+        for port in Port::ALL {
+            let quotas = weights.reduced_quotas(self.coord, port);
+            for _vc in 0..self.vc_count {
+                arbiters.push(make_arbiter(policy, &quotas));
+            }
+        }
+        self.arbiters = arbiters;
+    }
+
     /// Returns `true` if any input ring's head-of-line flit **on VC `vc`** is
     /// a header routed to `output` — the request set a dense per-cycle
     /// `decide` would build for that `(output, VC)` (nothing is consumed on a

@@ -6,7 +6,9 @@ use std::collections::HashMap;
 use serde::{Deserialize, Serialize};
 
 use wnoc_core::flow::FlowSet;
-use wnoc_core::{Coord, FlowId, Mesh, NocConfig, NodeId, Result};
+use wnoc_core::{
+    Coord, Error, FaultPlan, FlowId, Mesh, NocConfig, NodeId, Result, RetransmitPolicy,
+};
 
 use wnoc_core::ArrivalCurve;
 
@@ -172,6 +174,18 @@ impl Simulation {
         &mut self.network
     }
 
+    /// Installs a fault plan on the underlying network (see
+    /// [`Network::install_fault_plan`]): scheduled link/router failures with
+    /// fault-tolerant rerouting and NACK-based retransmission.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if a plan is already installed or the plan does not
+    /// fit the mesh.
+    pub fn install_fault_plan(&mut self, plan: FaultPlan, policy: RetransmitPolicy) -> Result<()> {
+        self.network.install_fault_plan(plan, policy)
+    }
+
     /// Collected statistics.
     pub fn stats(&self) -> &NetworkStats {
         self.network.stats()
@@ -335,11 +349,21 @@ impl Simulation {
                 for &slot in &free {
                     let slot = slot as usize;
                     let (_, list) = &by_src[slot];
-                    let flow = flows
-                        .flow(list[next[slot] % list.len()])
-                        .expect("flow id from the same set");
-                    next[slot] += 1;
-                    self.network.offer(flow.src, flow.dst, message_flits)?;
+                    // A fault activation may have severed some of this
+                    // source's flows: skip round-robin to the next reachable
+                    // one.  A slot whose every flow is severed retires — no
+                    // offer is outstanding, so no delivery ever re-frees it.
+                    for _ in 0..list.len() {
+                        let flow = flows
+                            .flow(list[next[slot] % list.len()])
+                            .expect("flow id from the same set");
+                        next[slot] += 1;
+                        match self.network.offer(flow.src, flow.dst, message_flits) {
+                            Ok(_) => break,
+                            Err(Error::Unreachable { .. }) => continue,
+                            Err(other) => return Err(other),
+                        }
+                    }
                 }
                 free.clear();
             }

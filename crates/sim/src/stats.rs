@@ -1,7 +1,7 @@
 //! Simulation statistics: per-flow latency distributions, throughput and link
 //! utilisation.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 use serde::{Deserialize, Serialize};
 
@@ -120,6 +120,30 @@ pub struct NetworkStats {
     /// Network traversal latency (injection of first flit to delivery of last
     /// flit) per flow.
     pub traversal_latency: HashMap<FlowId, LatencyStats>,
+    /// Messages NACKed by a fault epoch flush and re-queued for
+    /// retransmission.  The fault counters only serialize when non-zero, so
+    /// a fault-free run's serialized stats stay byte-identical to builds
+    /// that predate fault injection.
+    #[serde(default, skip_serializing_if = "is_zero")]
+    pub messages_retransmitted: u64,
+    /// Messages dropped as undeliverable: their endpoint pair was severed by
+    /// the active fault set, or their retry budget was exhausted.
+    #[serde(default, skip_serializing_if = "is_zero")]
+    pub messages_undeliverable: u64,
+    /// Flits purged from router rings, link pipelines and NIC queues by
+    /// fault epoch flushes.
+    #[serde(default, skip_serializing_if = "is_zero")]
+    pub flits_purged: u64,
+    /// Retransmissions per flow (ordered map: deterministic serialization).
+    #[serde(default, skip_serializing_if = "BTreeMap::is_empty")]
+    pub retransmits_by_flow: BTreeMap<FlowId, u64>,
+}
+
+/// `skip_serializing_if` helper for the fault counters (referenced by name
+/// from the `serde` field attributes, which the offline shim ignores).
+#[allow(dead_code)]
+fn is_zero(value: &u64) -> bool {
+    *value == 0
 }
 
 impl NetworkStats {

@@ -22,7 +22,9 @@ use proptest::prelude::*;
 use wnoc_core::config::RouterTiming;
 use wnoc_core::flow::FlowSet;
 use wnoc_core::vc::{VcAssignment, VcConfig};
-use wnoc_core::{BufferConfig, Coord, Mesh, NocConfig};
+use wnoc_core::{
+    BufferConfig, Coord, Direction, Error, FaultPlan, Mesh, NocConfig, RetransmitPolicy,
+};
 use wnoc_sim::network::Network;
 use wnoc_sim::{RandomTraffic, SaturatedReport, Simulation, TrafficPattern};
 
@@ -36,6 +38,9 @@ struct Case {
     driver: u32,
     link_cycles: u32,
     vcs: u32,
+    /// Fault dimension: 0 none, 1 one mid-run link fault, 2 one cycle-0
+    /// link fault, 3 two staggered link faults (two epoch flushes).
+    faults: u32,
     salt: u64,
 }
 
@@ -83,9 +88,44 @@ impl Case {
         }
     }
 
+    /// The sampled fault plan: directed link faults only, so the mesh can
+    /// partition (a severed pair is a legitimate outcome both kernels must
+    /// agree on) but drivers that offer unconditionally can still run.
+    fn fault_plan(&self, mesh: &Mesh) -> Option<FaultPlan> {
+        if self.faults == 0 {
+            return None;
+        }
+        let links = mesh.links();
+        let pick = |offset: u64| {
+            let index = (self.salt.wrapping_mul(31).wrapping_add(offset)) % links.len() as u64;
+            let link = links[index as usize];
+            (link.from, link.direction)
+        };
+        let mut plan = FaultPlan::new();
+        match self.faults {
+            1 => {
+                let (coord, dir) = pick(0);
+                plan.fail_link(coord, dir, 37);
+            }
+            2 => {
+                let (coord, dir) = pick(0);
+                plan.fail_link(coord, dir, 0);
+            }
+            _ => {
+                let (first, first_dir) = pick(0);
+                let (second, second_dir) = pick(7);
+                plan.fail_link(first, first_dir, 13);
+                plan.fail_link(second, second_dir, 53);
+            }
+        }
+        Some(plan)
+    }
+
     /// Runs the case under one scheduler and returns every observable the
-    /// differential compares.
-    fn run(&self, dense: bool) -> (SaturatedReport, Vec<u64>, Vec<u64>) {
+    /// differential compares.  The driver result is compared as a `Result`:
+    /// a faulted case may legitimately fail to drain or sever a pair, and
+    /// both kernels must agree on the exact error too.
+    fn run(&self, dense: bool) -> (Result<SaturatedReport, Error>, Vec<u64>, Vec<u64>) {
         let mesh = Mesh::square(self.side).expect("side in range");
         let config = self.config();
         let flows = self.flows(&mesh);
@@ -93,13 +133,13 @@ impl Case {
         let mut sim = Simulation::with_vcs(mesh, config, &flows, &buffers, self.vc_config())
             .expect("valid platform");
         sim.set_dense_kernel(dense);
+        if let Some(plan) = self.fault_plan(&mesh) {
+            sim.install_fault_plan(plan, RetransmitPolicy::default())
+                .expect("sampled plan fits the mesh");
+        }
         let report = match self.driver % 3 {
-            0 => sim
-                .run_closed_loop(&flows, self.message_flits, 250)
-                .expect("closed loop drains"),
-            1 => sim
-                .run_saturated(&flows, self.message_flits, 80, 160)
-                .expect("saturated run"),
+            0 => sim.run_closed_loop(&flows, self.message_flits, 250),
+            1 => sim.run_saturated(&flows, self.message_flits, 80, 160),
             _ => {
                 let mut traffic = RandomTraffic::new(
                     mesh,
@@ -110,7 +150,6 @@ impl Case {
                 )
                 .expect("valid generator");
                 sim.run_traffic_report(&mut traffic, 200, 50_000)
-                    .expect("random traffic drains")
             }
         };
         let stats = sim.stats();
@@ -122,6 +161,9 @@ impl Case {
             stats.packets_delivered,
             stats.flits_injected,
             stats.flits_delivered,
+            stats.messages_retransmitted,
+            stats.messages_undeliverable,
+            stats.flits_purged,
         ];
         let ports = port_counts(sim.network(), &mesh);
         (report, aggregates, ports)
@@ -165,7 +207,7 @@ proptest! {
     #![proptest_config(ProptestConfig::with_cases(cases()))]
 
     /// Horizon and dense schedulers agree on every observable, for any
-    /// platform, design, message size and driver discipline.
+    /// platform, design, message size, driver discipline and fault plan.
     #[test]
     fn horizon_and_dense_kernels_are_bit_identical(
         side in 2u16..=8,
@@ -175,9 +217,10 @@ proptest! {
         driver in 0u32..3,
         link_cycles in 1u32..=3,
         vcs in 1u32..=4,
+        faults in 0u32..4,
         salt in 0u64..1_000,
     ) {
-        let case = Case { side, design, family, message_flits, driver, link_cycles, vcs, salt };
+        let case = Case { side, design, family, message_flits, driver, link_cycles, vcs, faults, salt };
         let (horizon_report, horizon_stats, horizon_ports) = case.run(false);
         let (dense_report, dense_stats, dense_ports) = case.run(true);
         if horizon_report != dense_report {
@@ -191,7 +234,7 @@ proptest! {
         }
         // The equality itself is the property; some short saturated windows
         // legitimately record nothing, so emptiness is not asserted.
-        prop_assert_eq!(horizon_stats.len(), 7);
+        prop_assert_eq!(horizon_stats.len(), 10);
     }
 }
 
@@ -209,6 +252,7 @@ fn multi_cycle_links_match_dense() {
         driver: 0,
         link_cycles: 2,
         vcs: 1,
+        faults: 0,
         salt: 24, // hotspot (4, 4): the single corner-to-corner-ish probe
     };
     let horizon = case.run(false);
@@ -233,17 +277,141 @@ fn multi_vc_hotspot_matches_dense() {
                 driver: 0,
                 link_cycles: 1,
                 vcs,
+                faults: 0,
                 salt,
             };
             let horizon = case.run(false);
             let dense = case.run(true);
             assert_eq!(horizon, dense, "multi-VC divergence for {case:?}");
             assert!(
-                !horizon.0.is_empty(),
+                !horizon.0.as_ref().expect("hotspot drains").is_empty(),
                 "the hotspot must complete probes for {case:?}"
             );
         }
     }
+}
+
+/// Pinned regression: a fault epoch flush that truncates a worm mid-flight.
+/// A long message is strung across the mesh when the activation fires, so the
+/// flush must purge flits from router rings *and* the link pipeline, NACK the
+/// tail, and retransmit the whole message over the up*/down* tree — with the
+/// dense and event-horizon kernels agreeing on every observable (the horizon
+/// kernel settles its lazy arbiter idle-debt against the frozen pre-purge
+/// request fronts before the purge; an off-by-one there shows up here).
+#[test]
+fn midrun_worm_truncation_matches_dense() {
+    for config in [NocConfig::regular(4), NocConfig::waw_wap()] {
+        let mesh = Mesh::square(5).unwrap();
+        let flows = FlowSet::from_pairs(
+            &mesh,
+            vec![(
+                mesh.node_id(Coord::from_row_col(0, 4)).unwrap(),
+                mesh.node_id(Coord::from_row_col(0, 0)).unwrap(),
+            )],
+        )
+        .unwrap();
+        // The 8-flit worm injects at cycle 1 and straddles (0, 2) when the
+        // link under it dies at cycle 6.
+        let plan = {
+            let mut plan = FaultPlan::new();
+            plan.fail_link(Coord::from_row_col(0, 2), Direction::West, 6);
+            plan
+        };
+        let run = |dense: bool| {
+            let mut sim = Simulation::new(mesh, config, &flows).unwrap();
+            sim.set_dense_kernel(dense);
+            sim.install_fault_plan(plan.clone(), RetransmitPolicy::default())
+                .unwrap();
+            let report = sim.run_closed_loop(&flows, 8, 2_000);
+            let stats = sim.stats().clone();
+            let ports = port_counts(sim.network(), &mesh);
+            (
+                report,
+                stats.cycles,
+                stats.messages_retransmitted,
+                stats.flits_purged,
+                ports,
+            )
+        };
+        let horizon = run(false);
+        let dense = run(true);
+        assert_eq!(
+            horizon,
+            dense,
+            "mid-worm truncation divergence under {}",
+            config.label()
+        );
+        assert!(
+            horizon.2 >= 1,
+            "the straddling worm must be NACKed and retransmitted under {}",
+            config.label()
+        );
+        assert!(
+            horizon.3 >= 1,
+            "the flush must purge in-flight flits under {}",
+            config.label()
+        );
+        assert!(
+            !horizon
+                .0
+                .as_ref()
+                .expect("rerouted probe drains")
+                .is_empty(),
+            "the retransmitted probe must still deliver under {}",
+            config.label()
+        );
+    }
+}
+
+/// Pinned regression: the destination router itself dies mid-run.  The flow
+/// becomes unreachable, the in-flight worm is dropped undeliverable, and the
+/// network must still drain identically under both kernels (the closed loop
+/// skips the severed flow rather than stalling).
+#[test]
+fn midrun_router_death_drops_undeliverable_identically() {
+    let mesh = Mesh::square(4).unwrap();
+    let flows = FlowSet::from_pairs(
+        &mesh,
+        vec![
+            (
+                mesh.node_id(Coord::from_row_col(0, 3)).unwrap(),
+                mesh.node_id(Coord::from_row_col(0, 0)).unwrap(),
+            ),
+            (
+                mesh.node_id(Coord::from_row_col(3, 3)).unwrap(),
+                mesh.node_id(Coord::from_row_col(3, 0)).unwrap(),
+            ),
+        ],
+    )
+    .unwrap();
+    let plan = {
+        let mut plan = FaultPlan::new();
+        plan.fail_router(Coord::from_row_col(0, 0), 5);
+        plan
+    };
+    let run = |dense: bool| {
+        let mut sim = Simulation::new(mesh, NocConfig::regular(4), &flows).unwrap();
+        sim.set_dense_kernel(dense);
+        sim.install_fault_plan(plan.clone(), RetransmitPolicy::default())
+            .unwrap();
+        let report = sim.run_closed_loop(&flows, 6, 2_000);
+        let stats = sim.stats().clone();
+        let ports = port_counts(sim.network(), &mesh);
+        (report, stats.cycles, stats.messages_undeliverable, ports)
+    };
+    let horizon = run(false);
+    let dense = run(true);
+    assert_eq!(horizon, dense, "router-death divergence");
+    assert!(
+        horizon.2 >= 1,
+        "the worm bound for the dead router must be dropped undeliverable"
+    );
+    // The surviving row-3 flow keeps probing: the loop retires only the
+    // severed slot.
+    assert!(
+        !horizon.0.as_ref().expect("survivors drain").is_empty(),
+        "the surviving flow must still complete probes"
+    );
 }
 
 /// The fast-forward-heavy corner the random sweep rarely hits hard: a single
